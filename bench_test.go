@@ -1,0 +1,314 @@
+package dmra
+
+// Benchmark harness: one bench per paper figure plus the ablations listed
+// in DESIGN.md. Each figure bench runs the figure's scenario at a
+// representative operating point and reports the measured quantity
+// (profit, forwarded Mbps, served UEs) via b.ReportMetric, so
+// `go test -bench=.` regenerates both the performance numbers and the
+// reproduction metrics. The full multi-point sweeps behind the figures are
+// produced by `go run ./cmd/dmra-figures`.
+
+import (
+	"testing"
+
+	"dmra/internal/alloc"
+	"dmra/internal/exp"
+	"dmra/internal/protocol"
+	"dmra/internal/workload"
+)
+
+// figurePoint runs one (algorithm, scenario) cell over a fixed seed set
+// and reports reproduction metrics alongside the timing.
+func figurePoint(b *testing.B, cfg workload.Config, algorithm string, rho float64) {
+	b.Helper()
+	nets := make([]*Network, 4)
+	for i := range nets {
+		net, err := cfg.Build(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets[i] = net
+	}
+	var allocator Allocator
+	if algorithm == "dmra" {
+		allocator = alloc.NewDMRA(alloc.DMRAConfig{Rho: rho, SPPriority: true, FuTieBreak: true})
+	} else {
+		a, err := alloc.ByName(algorithm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		allocator = a
+	}
+
+	var profit, served, fwd float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := nets[i%len(nets)]
+		res, err := allocator.Allocate(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := Profit(net, res.Assignment)
+		profit += r.TotalProfit()
+		served += float64(r.ServedUEs())
+		fwd += r.ForwardedTrafficBps / 1e6
+	}
+	b.ReportMetric(profit/float64(b.N), "profit")
+	b.ReportMetric(served/float64(b.N), "served")
+	b.ReportMetric(fwd/float64(b.N), "fwdMbps")
+}
+
+// ueFigure benches one of Figs. 2-5 at its 900-UE point for all three
+// compared algorithms.
+func ueFigure(b *testing.B, iota float64, placement workload.Placement) {
+	b.Helper()
+	for _, algorithm := range []string{"dmra", "dcsp", "nonco"} {
+		algorithm := algorithm
+		b.Run(algorithm, func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.UEs = 900
+			cfg.Pricing.CrossSPFactor = iota
+			cfg.Placement = placement
+			figurePoint(b, cfg, algorithm, DefaultDMRAConfig().Rho)
+		})
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2's operating point: total SP profit vs
+// UEs at iota=2 with regular BS placement.
+func BenchmarkFig2(b *testing.B) { ueFigure(b, 2, workload.PlacementRegular) }
+
+// BenchmarkFig3 regenerates Fig. 3: iota=2, random BS placement.
+func BenchmarkFig3(b *testing.B) { ueFigure(b, 2, workload.PlacementRandom) }
+
+// BenchmarkFig4 regenerates Fig. 4: iota=1.1, regular BS placement.
+func BenchmarkFig4(b *testing.B) { ueFigure(b, 1.1, workload.PlacementRegular) }
+
+// BenchmarkFig5 regenerates Fig. 5: iota=1.1, random BS placement.
+func BenchmarkFig5(b *testing.B) { ueFigure(b, 1.1, workload.PlacementRandom) }
+
+// BenchmarkFig6 regenerates Fig. 6: total SP profit vs rho (iota=2,
+// 1000 UEs, regular placement), one sub-bench per rho point.
+func BenchmarkFig6(b *testing.B) {
+	for _, rho := range []float64{0, 500, 1000} {
+		rho := rho
+		b.Run(rhoLabel(rho), func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.UEs = 1000
+			cfg.Pricing.CrossSPFactor = 2
+			figurePoint(b, cfg, "dmra", rho)
+		})
+	}
+}
+
+// BenchmarkFig7 regenerates Fig. 7: total forwarded traffic load vs rho
+// (iota=1.1, 1000 UEs, regular placement).
+func BenchmarkFig7(b *testing.B) {
+	for _, rho := range []float64{0, 500, 1000} {
+		rho := rho
+		b.Run(rhoLabel(rho), func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.UEs = 1000
+			cfg.Pricing.CrossSPFactor = 1.1
+			figurePoint(b, cfg, "dmra", rho)
+		})
+	}
+}
+
+func rhoLabel(rho float64) string {
+	switch rho {
+	case 0:
+		return "rho0"
+	case 500:
+		return "rho500"
+	default:
+		return "rho1000"
+	}
+}
+
+// BenchmarkFigureSweeps runs the full harness behind each figure at
+// reduced replication, timing one end-to-end figure regeneration.
+func BenchmarkFigureSweeps(b *testing.B) {
+	for _, f := range exp.Figures() {
+		f := f
+		b.Run(f.TitleShort(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Run(exp.Options{Seeds: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- ablations (DESIGN.md A1-A5) ---
+
+// BenchmarkAblationNoSPPriority measures what the same-SP-first rule of
+// Alg. 1 lines 13-16 is worth (A1).
+func BenchmarkAblationNoSPPriority(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "with-sp-priority"
+		if !on {
+			name = "without-sp-priority"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.UEs = 900
+			nets := buildNets(b, cfg, 4)
+			allocator := alloc.NewDMRA(alloc.DMRAConfig{Rho: 250, SPPriority: on, FuTieBreak: true})
+			reportAlloc(b, nets, allocator)
+		})
+	}
+}
+
+// BenchmarkAblationNoFu measures the smallest-f_u tie-break (A3).
+func BenchmarkAblationNoFu(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		on := on
+		name := "with-fu"
+		if !on {
+			name = "without-fu"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := workload.Default()
+			cfg.UEs = 900
+			nets := buildNets(b, cfg, 4)
+			allocator := alloc.NewDMRA(alloc.DMRAConfig{Rho: 250, SPPriority: true, FuTieBreak: on})
+			reportAlloc(b, nets, allocator)
+		})
+	}
+}
+
+// BenchmarkProtocolVsSolver compares the synchronous solver against the
+// message-passing runtime on identical scenarios (A4): same matching,
+// different costs.
+func BenchmarkProtocolVsSolver(b *testing.B) {
+	cfg := workload.Default()
+	cfg.UEs = 600
+	nets := buildNets(b, cfg, 4)
+	b.Run("solver", func(b *testing.B) {
+		reportAlloc(b, nets, alloc.NewDMRA(alloc.DefaultDMRAConfig()))
+	})
+	b.Run("protocol", func(b *testing.B) {
+		var messages, rounds float64
+		for i := 0; i < b.N; i++ {
+			res, err := protocol.Run(nets[i%len(nets)], protocol.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			messages += float64(res.Messages)
+			rounds += float64(res.Rounds)
+		}
+		b.ReportMetric(messages/float64(b.N), "messages")
+		b.ReportMetric(rounds/float64(b.N), "rounds")
+	})
+}
+
+// BenchmarkSmallVsOptimal quantifies DMRA's optimality gap against the
+// exact branch-and-bound solver on small instances (A5).
+func BenchmarkSmallVsOptimal(b *testing.B) {
+	cfg := workload.Default()
+	cfg.SPs, cfg.BSsPerSP = 2, 2
+	cfg.Services, cfg.ServicesPerBS = 2, 2
+	cfg.UEs = 10
+	cfg.AreaWidthM, cfg.AreaHeightM = 600, 600
+	cfg.CRUCapMin, cfg.CRUCapMax = 8, 12
+	nets := buildNets(b, cfg, 4)
+
+	b.Run("dmra", func(b *testing.B) {
+		reportAlloc(b, nets, alloc.NewDMRA(alloc.DefaultDMRAConfig()))
+	})
+	b.Run("optimal", func(b *testing.B) {
+		var profit float64
+		for i := 0; i < b.N; i++ {
+			sol, err := SolveExact(nets[i%len(nets)], 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			profit += sol.Profit
+		}
+		b.ReportMetric(profit/float64(b.N), "profit")
+	})
+}
+
+// BenchmarkAllocatorsScaling times every algorithm across population sizes.
+func BenchmarkAllocatorsScaling(b *testing.B) {
+	for _, n := range []int{200, 500, 1000, 2000} {
+		for _, name := range []string{"dmra", "dcsp", "nonco", "greedy"} {
+			n, name := n, name
+			b.Run(benchName(name, n), func(b *testing.B) {
+				cfg := workload.Default()
+				cfg.UEs = n
+				nets := buildNets(b, cfg, 2)
+				a, err := alloc.ByName(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := a.Allocate(nets[i%len(nets)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNetworkBuild times scenario construction including the link
+// precomputation.
+func BenchmarkNetworkBuild(b *testing.B) {
+	cfg := workload.Default()
+	cfg.UEs = 1000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Build(uint64(i + 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func buildNets(b *testing.B, cfg workload.Config, n int) []*Network {
+	b.Helper()
+	nets := make([]*Network, n)
+	for i := range nets {
+		net, err := cfg.Build(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nets[i] = net
+	}
+	return nets
+}
+
+func reportAlloc(b *testing.B, nets []*Network, a alloc.Allocator) {
+	b.Helper()
+	var profit, served float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := nets[i%len(nets)]
+		res, err := a.Allocate(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := Profit(net, res.Assignment)
+		profit += r.TotalProfit()
+		served += float64(r.ServedUEs())
+	}
+	b.ReportMetric(profit/float64(b.N), "profit")
+	b.ReportMetric(served/float64(b.N), "served")
+}
+
+func benchName(algo string, n int) string {
+	switch n {
+	case 200:
+		return algo + "-200"
+	case 500:
+		return algo + "-500"
+	case 1000:
+		return algo + "-1000"
+	default:
+		return algo + "-2000"
+	}
+}

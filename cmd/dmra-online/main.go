@@ -1,0 +1,109 @@
+// Command dmra-online runs a dynamic arrival/departure session: Poisson
+// UE arrivals, exponential task holding times, and periodic re-allocation
+// with the chosen algorithm.
+//
+// Usage:
+//
+//	dmra-online [flags]
+//
+//	-rate 5        arrivals per second
+//	-hold 120      mean task holding time (seconds)
+//	-duration 600  simulated horizon (seconds)
+//	-epoch 1       re-allocation period (seconds)
+//	-algo dmra     matching policy per epoch
+//	-seed 1        session seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmra"
+	"dmra/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dmra-online:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmra-online", flag.ContinueOnError)
+	var (
+		rate     = fs.Float64("rate", 5, "UE arrivals per second")
+		hold     = fs.Float64("hold", 120, "mean task holding time (s)")
+		duration = fs.Float64("duration", 600, "simulated horizon (s)")
+		epoch    = fs.Float64("epoch", 1, "re-allocation period (s)")
+		algo     = fs.String("algo", "dmra", "matching policy (dmra|dcsp|nonco|random|greedy|stablematch)")
+		seed     = fs.Uint64("seed", 1, "session seed")
+		pool     = fs.Int("pool", 0, "concurrent-UE profile pool (0 = 4x offered load)")
+		series   = fs.Bool("series", false, "chart profit rate and occupancy over time")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := dmra.DefaultOnlineConfig()
+	cfg.ArrivalRate = *rate
+	cfg.MeanHoldS = *hold
+	cfg.DurationS = *duration
+	cfg.EpochS = *epoch
+	cfg.Algorithm = *algo
+	cfg.Seed = *seed
+	cfg.RecordSeries = *series
+	if *pool > 0 {
+		cfg.Scenario.UEs = *pool
+	} else {
+		// Size the profile pool at 4x the steady-state offered load
+		// (Little's law) so saturation of the pool itself is unlikely.
+		cfg.Scenario.UEs = int(4 * *rate * *hold)
+		if cfg.Scenario.UEs < 100 {
+			cfg.Scenario.UEs = 100
+		}
+	}
+
+	rep, err := dmra.RunOnline(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("dynamic session: %.1f UE/s, %.0f s mean hold, %.0f s horizon, %s every %.1f s (seed %d)\n\n",
+		*rate, *hold, *duration, *algo, *epoch, *seed)
+	fmt.Printf("arrivals:        %d (%d departures within horizon, %d pool-saturated)\n",
+		rep.Arrivals, rep.Departures, rep.Saturated)
+	fmt.Printf("admissions:      %d edge + %d cloud (edge ratio %.0f%%)\n",
+		rep.EdgeServed, rep.CloudServed, 100*rep.EdgeRatio())
+	fmt.Printf("mean concurrent: %.1f UEs (Little's law predicts ~%.1f)\n",
+		rep.MeanConcurrent, *rate**hold)
+	fmt.Printf("RRB occupancy:   %.0f%% (time-averaged)\n", 100*rep.MeanOccupancyRRB)
+	fmt.Printf("profit-time:     %.0f price-units x s over %d epochs (%d matcher invocations)\n",
+		rep.ProfitTime, rep.Epochs, rep.ReassignChecks)
+
+	if *series && len(rep.Series) > 0 {
+		fmt.Println()
+		times := make([]float64, len(rep.Series))
+		profit := make([]float64, len(rep.Series))
+		occupancy := make([]float64, len(rep.Series))
+		for i, s := range rep.Series {
+			times[i] = s.TimeS
+			profit[i] = s.ProfitRate
+			occupancy[i] = 100 * s.OccupancyRRB
+		}
+		for _, p := range []*viz.Plot{
+			{Title: "profit rate over time (price-units/s)", XLabel: "s",
+				Series: []viz.Series{{Name: "profit/s", X: times, Y: profit}}},
+			{Title: "RRB occupancy over time (%)", XLabel: "s",
+				Series: []viz.Series{{Name: "occupancy %", X: times, Y: occupancy}}},
+		} {
+			chart, err := p.Render()
+			if err != nil {
+				return err
+			}
+			fmt.Println(chart)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunShortSession(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-rate", "2", "-hold", "20", "-duration", "60"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dynamic session", "arrivals:", "edge ratio", "RRB occupancy", "profit-time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunExplicitPool(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-rate", "1", "-hold", "10", "-duration", "30", "-pool", "200"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "arrivals:") {
+		t.Errorf("output wrong:\n%s", out)
+	}
+}
+
+func TestRunAlgorithms(t *testing.T) {
+	for _, algo := range []string{"nonco", "greedy"} {
+		if _, err := capture(t, func() error {
+			return run([]string{"-rate", "1", "-hold", "10", "-duration", "20", "-algo", algo})
+		}); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-rate", "0"},
+		{"-algo", "oracle", "-duration", "10"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunSeriesFlag(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-rate", "2", "-hold", "20", "-duration", "60", "-series"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "profit rate over time") || !strings.Contains(out, "occupancy over time") {
+		t.Errorf("series charts missing:\n%s", out)
+	}
+}

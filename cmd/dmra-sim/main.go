@@ -1,0 +1,159 @@
+// Command dmra-sim runs one allocation scenario and prints a per-SP
+// profit report.
+//
+// Usage:
+//
+//	dmra-sim [flags]
+//
+//	-ues 800            UE population
+//	-seed 1             scenario seed
+//	-algo dmra          dmra | dcsp | nonco | random | greedy
+//	-placement regular  regular | random BS placement
+//	-iota 2             cross-SP price factor
+//	-rho 250            DMRA resource-preference weight (Eq. 17)
+//	-scenario file      load a scenario JSON instead of defaults
+//	-decentralized      run DMRA as message exchange and report costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"dmra"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dmra-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmra-sim", flag.ContinueOnError)
+	var (
+		ues           = fs.Int("ues", 800, "UE population")
+		seed          = fs.Uint64("seed", 1, "scenario seed")
+		algo          = fs.String("algo", "dmra", "allocation algorithm (dmra|dcsp|nonco|random|greedy)")
+		placement     = fs.String("placement", "regular", "BS placement (regular|random)")
+		iota          = fs.Float64("iota", 2, "cross-SP price factor")
+		rho           = fs.Float64("rho", dmra.DefaultDMRAConfig().Rho, "DMRA rho (Eq. 17)")
+		scenarioPath  = fs.String("scenario", "", "scenario JSON file (overrides other scenario flags)")
+		decentralized = fs.Bool("decentralized", false, "run DMRA as message exchange on the event simulator")
+		tcp           = fs.Bool("tcp", false, "run DMRA over real TCP sockets (one server per BS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scenario := dmra.DefaultScenario()
+	if *scenarioPath != "" {
+		loaded, err := dmra.LoadScenario(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		scenario = loaded
+	} else {
+		scenario.UEs = *ues
+		scenario.Placement = dmra.Placement(*placement)
+		scenario.Pricing.CrossSPFactor = *iota
+	}
+
+	net, err := dmra.BuildNetwork(scenario, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario: %s placement, iota=%g, seed=%d\n",
+		scenario.Placement, scenario.Pricing.CrossSPFactor, *seed)
+	fmt.Println(net.Summarize())
+	fmt.Println()
+
+	if *decentralized {
+		return runDecentralized(net, *rho)
+	}
+	if *tcp {
+		return runTCP(net, *rho)
+	}
+
+	var res dmra.Result
+	if *algo == "dmra" {
+		cfg := dmra.DefaultDMRAConfig()
+		cfg.Rho = *rho
+		res, err = dmra.AllocateDMRA(net, cfg)
+	} else {
+		res, err = dmra.Allocate(net, *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	report(net, res)
+	return nil
+}
+
+func runDecentralized(net *dmra.Network, rho float64) error {
+	cfg := dmra.DefaultProtocolConfig()
+	cfg.DMRA.Rho = rho
+	pres, err := dmra.RunDecentralized(net, cfg)
+	if err != nil {
+		return err
+	}
+	res := dmra.Result{
+		Assignment: pres.Assignment,
+		Profit:     dmra.Profit(net, pres.Assignment),
+	}
+	report(net, res)
+	fmt.Printf("protocol: %d rounds, %d messages (%d requests, %d accepts, %d rejects, %d broadcasts), %.1f ms simulated\n",
+		pres.Rounds, pres.Messages, pres.Requests, pres.Accepts, pres.Rejects, pres.Broadcasts, pres.SimTimeS*1e3)
+	return nil
+}
+
+func runTCP(net *dmra.Network, rho float64) error {
+	cfg := dmra.DefaultDMRAConfig()
+	cfg.Rho = rho
+	cres, err := dmra.RunCluster(net, cfg)
+	if err != nil {
+		return err
+	}
+	res := dmra.Result{
+		Assignment: cres.Assignment,
+		Profit:     dmra.Profit(net, cres.Assignment),
+	}
+	report(net, res)
+	fmt.Printf("tcp cluster: %d rounds, %d frames, %d B sent / %d B received\n",
+		cres.Rounds, cres.Frames, cres.BytesSent, cres.BytesReceived)
+	return nil
+}
+
+func report(net *dmra.Network, res dmra.Result) {
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "SP\trevenue\tBS payment\tother cost\tprofit\tserved\town-BS\tcloud\t")
+	for _, p := range res.Profit.PerSP {
+		fmt.Fprintf(w, "%s\t%.1f\t%.1f\t%.1f\t%.1f\t%d\t%d\t%d\t\n",
+			net.SPs[p.SP].Name, p.Revenue, p.BSPayment, p.OtherCost, p.Profit(),
+			p.ServedUEs, p.OwnBSUEs, p.CloudUEs)
+	}
+	w.Flush()
+	fmt.Printf("\ntotal profit: %.1f\n", res.Profit.TotalProfit())
+	fmt.Printf("served at edge: %d / %d (%.0f%%), forwarded traffic: %.0f Mbps (%d CRUs)\n",
+		res.Profit.ServedUEs(), len(net.UEs),
+		100*float64(res.Profit.ServedUEs())/float64(max(1, len(net.UEs))),
+		res.Profit.ForwardedTrafficBps/1e6, res.Profit.ForwardedCRUs)
+	if res.Stats.Iterations > 0 {
+		fmt.Printf("allocator: %d iterations, %d proposals, %d accepts, %d rejects\n",
+			res.Stats.Iterations, res.Stats.Proposals, res.Stats.Accepts, res.Stats.Rejects)
+	}
+	if lat, err := dmra.EvaluateLatency(net, res.Assignment, dmra.DefaultQoSConfig()); err == nil && lat.Tasks > 0 {
+		fmt.Printf("latency model: mean %.0f ms, p95 %.0f ms (edge %.0f ms, cloud %.0f ms)\n",
+			lat.MeanS*1e3, lat.P95S*1e3, lat.EdgeMeanS*1e3, lat.CloudMeanS*1e3)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+// Command dmra-sweep runs a generic one-parameter sweep over the scenario
+// space and prints a comparison table, for exploration beyond the paper's
+// six figures.
+//
+// Usage:
+//
+//	dmra-sweep -param ues -values 400,600,800 -algos dmra,dcsp,nonco
+//	dmra-sweep -param coverage -values 250,350,450 -metric served
+//
+// Supported parameters: ues, rho, iota, coverage, hotspot-fraction,
+// services. Supported metrics: profit, forwarded, served.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dmra"
+	"dmra/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dmra-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dmra-sweep", flag.ContinueOnError)
+	var (
+		param  = fs.String("param", "ues", "swept parameter (ues|rho|iota|coverage|hotspot-fraction|services)")
+		values = fs.String("values", "400,600,800", "comma-separated sweep values")
+		algos  = fs.String("algos", "dmra,dcsp,nonco", "comma-separated algorithms")
+		metric = fs.String("metric", "profit", "measured quantity (profit|forwarded|served|latency)")
+		seeds  = fs.Int("seeds", 10, "independent replications per point")
+		ues    = fs.Int("ues", 800, "UE population (when not swept)")
+		csv    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	xs, err := parseFloats(*values)
+	if err != nil {
+		return err
+	}
+	algorithms := strings.Split(*algos, ",")
+
+	tab := &metrics.Table{
+		Title:  fmt.Sprintf("%s vs %s (%d seeds)", *metric, *param, *seeds),
+		XLabel: *param,
+		YLabel: *metric,
+		Series: algorithms,
+	}
+	for _, x := range xs {
+		cells, err := runPoint(*param, x, algorithms, *metric, *seeds, *ues)
+		if err != nil {
+			return err
+		}
+		if err := tab.AddRow(x, cells); err != nil {
+			return err
+		}
+	}
+	tab.Sort()
+	if *csv {
+		fmt.Print(tab.CSV())
+	} else {
+		fmt.Print(tab.Text())
+	}
+	return nil
+}
+
+func runPoint(param string, x float64, algorithms []string, metric string, seeds, ues int) ([]metrics.Summary, error) {
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = ues
+	rho := dmra.DefaultDMRAConfig().Rho
+
+	switch param {
+	case "ues":
+		scenario.UEs = int(x)
+	case "rho":
+		rho = x
+	case "iota":
+		scenario.Pricing.CrossSPFactor = x
+	case "coverage":
+		scenario.Radio.CoverageRadiusM = x
+	case "hotspot-fraction":
+		scenario.HotspotFraction = x
+	case "services":
+		scenario.Services = int(x)
+		if scenario.ServicesPerBS > scenario.Services {
+			scenario.ServicesPerBS = scenario.Services
+		}
+	default:
+		return nil, fmt.Errorf("unknown parameter %q", param)
+	}
+
+	samples := make([][]float64, len(algorithms))
+	for seed := uint64(1); seed <= uint64(seeds); seed++ {
+		net, err := dmra.BuildNetwork(scenario, seed)
+		if err != nil {
+			return nil, err
+		}
+		for ai, algo := range algorithms {
+			var res dmra.Result
+			if algo == "dmra" {
+				cfg := dmra.DefaultDMRAConfig()
+				cfg.Rho = rho
+				res, err = dmra.AllocateDMRA(net, cfg)
+			} else {
+				res, err = dmra.Allocate(net, algo)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("%s at %s=%g: %w", algo, param, x, err)
+			}
+			v, err := measure(metric, net, res)
+			if err != nil {
+				return nil, err
+			}
+			samples[ai] = append(samples[ai], v)
+		}
+	}
+	cells := make([]metrics.Summary, len(samples))
+	for i, s := range samples {
+		cells[i] = metrics.Summarize(s)
+	}
+	return cells, nil
+}
+
+func measure(metric string, net *dmra.Network, res dmra.Result) (float64, error) {
+	switch metric {
+	case "profit":
+		return res.Profit.TotalProfit(), nil
+	case "forwarded":
+		return res.Profit.ForwardedTrafficBps / 1e6, nil
+	case "served":
+		return float64(res.Profit.ServedUEs()), nil
+	case "latency":
+		rep, err := dmra.EvaluateLatency(net, res.Assignment, dmra.DefaultQoSConfig())
+		if err != nil {
+			return 0, err
+		}
+		return rep.MeanS * 1e3, nil // milliseconds
+	default:
+		return 0, fmt.Errorf("unknown metric %q", metric)
+	}
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no sweep values")
+	}
+	return out, nil
+}

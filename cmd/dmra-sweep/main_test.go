@@ -1,0 +1,100 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	data, err := io.ReadAll(r)
+	r.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestSweepUEs(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-param", "ues", "-values", "100,200", "-algos", "dmra,nonco", "-seeds", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ues", "dmra", "nonco", "100", "200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSweepEveryParameter(t *testing.T) {
+	params := map[string]string{
+		"rho":              "0,500",
+		"iota":             "1.5,2",
+		"coverage":         "300,450",
+		"hotspot-fraction": "0,0.75",
+		"services":         "3,6",
+	}
+	for param, values := range params {
+		_, err := capture(t, func() error {
+			return run([]string{"-param", param, "-values", values, "-algos", "dmra", "-seeds", "1", "-ues", "150"})
+		})
+		if err != nil {
+			t.Errorf("param %s: %v", param, err)
+		}
+	}
+}
+
+func TestSweepMetrics(t *testing.T) {
+	for _, metric := range []string{"profit", "forwarded", "served", "latency"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-values", "150", "-algos", "dmra", "-metric", metric, "-seeds", "1", "-ues", "150"})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		if !strings.Contains(out, metric) {
+			t.Errorf("%s: metric missing from title:\n%s", metric, out)
+		}
+	}
+}
+
+func TestSweepCSVMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-values", "120", "-algos", "dmra", "-seeds", "1", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "ues,dmra_mean,dmra_ci95") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cases := [][]string{
+		{"-param", "frequency", "-values", "1"},
+		{"-values", "abc"},
+		{"-values", "100", "-algos", "oracle"},
+		{"-values", "100", "-metric", "jitter"},
+		{"-zzz"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

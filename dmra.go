@@ -1,0 +1,276 @@
+// Package dmra reproduces "DMRA: A Decentralized Resource Allocation
+// Scheme for Multi-SP Mobile Edge Computing" (Zhang, Du, Ye, Liu, Yuan;
+// ICDCS 2019): the multi-SP mobile-edge-computing system model, the DMRA
+// matching scheme itself, the DCSP and NonCo comparison algorithms, an
+// exact small-instance optimizer, a message-level decentralized runtime,
+// and the harness that regenerates every figure of the paper's evaluation.
+//
+// The package is a facade over the internal implementation. A minimal
+// session:
+//
+//	scenario := dmra.DefaultScenario()   // the paper's §VI setup
+//	scenario.UEs = 800
+//	net, err := dmra.BuildNetwork(scenario, 1)
+//	if err != nil { ... }
+//	res, err := dmra.Allocate(net, "dmra")
+//	if err != nil { ... }
+//	fmt.Println(res.Profit.TotalProfit(), res.Profit.CloudUEs())
+//
+// Reproducing a paper figure:
+//
+//	fig, _ := dmra.FigureByID(2)
+//	table, err := fig.Run(dmra.FigureOptions{Seeds: 20})
+//	fmt.Print(table.Text())
+//
+// All randomness flows from explicit 64-bit seeds; identical inputs give
+// identical outputs, including for the message-passing runtime.
+package dmra
+
+import (
+	"dmra/internal/alloc"
+	"dmra/internal/exp"
+	"dmra/internal/mec"
+	"dmra/internal/metrics"
+	"dmra/internal/online"
+	"dmra/internal/opt"
+	"dmra/internal/protocol"
+	"dmra/internal/qos"
+	"dmra/internal/wire"
+	"dmra/internal/workload"
+)
+
+// Scenario describes a full simulation setup: SPs, BSs, UEs, radio and
+// pricing parameters. See DefaultScenario for the paper's configuration.
+type Scenario = workload.Config
+
+// Placement selects the BS deployment strategy.
+type Placement = workload.Placement
+
+// Re-exported placement and distribution constants.
+const (
+	// PlacementRegular is the 300 m inter-site grid of §VI-A.
+	PlacementRegular = workload.PlacementRegular
+	// PlacementRandom scatters BSs uniformly in the area.
+	PlacementRandom = workload.PlacementRandom
+	// PlacementHex lays BSs on a hexagonal lattice (extension).
+	PlacementHex = workload.PlacementHex
+	// UEUniform scatters UEs uniformly.
+	UEUniform = workload.UEUniform
+	// UEHotspot clusters UEs around random hotspots (the default).
+	UEHotspot = workload.UEHotspot
+)
+
+// Network is an immutable, validated scenario instance with all per-link
+// radio and pricing quantities precomputed.
+type Network = mec.Network
+
+// Assignment maps every UE to its serving BS or to the cloud.
+type Assignment = mec.Assignment
+
+// ProfitReport decomposes per-SP utility (Eq. 5-8) and system-level
+// forwarding metrics for an assignment.
+type ProfitReport = mec.ProfitReport
+
+// AllocStats counts the work an allocation run performed.
+type AllocStats = alloc.Stats
+
+// DMRAConfig exposes the DMRA algorithm parameters (Eq. 17's rho and the
+// Alg. 1 tie-break switches).
+type DMRAConfig = alloc.DMRAConfig
+
+// Allocator is the interface every allocation algorithm implements.
+type Allocator = alloc.Allocator
+
+// DefaultScenario returns the paper's §VI parameterization: 5 SPs x 5 BSs
+// on a 300 m grid in a 1200 m x 1200 m area, 6 services, CRU capacities in
+// [100,150], task demands in [3,5] CRUs and [2,6] Mbps, 10 MHz uplinks
+// with 180 kHz RRBs, and the calibrated pricing of DESIGN.md.
+func DefaultScenario() Scenario {
+	return workload.Default()
+}
+
+// LoadScenario reads a scenario JSON file written by SaveScenario.
+func LoadScenario(path string) (Scenario, error) {
+	return workload.Load(path)
+}
+
+// SaveScenario writes a scenario as indented JSON.
+func SaveScenario(s Scenario, path string) error {
+	return workload.Save(s, path)
+}
+
+// BuildNetwork instantiates a scenario deterministically from a seed.
+func BuildNetwork(s Scenario, seed uint64) (*Network, error) {
+	return s.Build(seed)
+}
+
+// Result bundles an allocation with its profit accounting and run stats.
+type Result struct {
+	Assignment Assignment
+	Profit     ProfitReport
+	Stats      AllocStats
+}
+
+// Allocate runs the named algorithm ("dmra", "dcsp", "nonco", "random",
+// "greedy") on a network and scores the outcome.
+func Allocate(net *Network, algorithm string) (Result, error) {
+	a, err := alloc.ByName(algorithm)
+	if err != nil {
+		return Result{}, err
+	}
+	return runAllocator(net, a)
+}
+
+// AllocateDMRA runs DMRA with an explicit configuration (rho sweeps,
+// ablations).
+func AllocateDMRA(net *Network, cfg DMRAConfig) (Result, error) {
+	return runAllocator(net, alloc.NewDMRA(cfg))
+}
+
+// DefaultDMRAConfig returns the paper's algorithm with the calibrated
+// default rho.
+func DefaultDMRAConfig() DMRAConfig {
+	return alloc.DefaultDMRAConfig()
+}
+
+func runAllocator(net *Network, a alloc.Allocator) (Result, error) {
+	res, err := a.Allocate(net)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Assignment: res.Assignment,
+		Profit:     mec.Profit(net, res.Assignment),
+		Stats:      res.Stats,
+	}, nil
+}
+
+// Profit scores an arbitrary assignment against a network.
+func Profit(net *Network, a Assignment) ProfitReport {
+	return mec.Profit(net, a)
+}
+
+// ValidateAssignment checks an assignment against the TPM constraints
+// (Eq. 12-16).
+func ValidateAssignment(net *Network, a Assignment) error {
+	return mec.ValidateAssignment(net, a)
+}
+
+// --- decentralized runtime ---
+
+// ProtocolConfig parameterizes the message-level decentralized run.
+type ProtocolConfig = protocol.Config
+
+// ProtocolResult reports the decentralized run's assignment plus message
+// and round costs.
+type ProtocolResult = protocol.Result
+
+// TraceEvent is one observable protocol action (request, accept, ...).
+type TraceEvent = protocol.TraceEvent
+
+// DefaultProtocolConfig returns a 1 ms-latency protocol with default DMRA
+// parameters.
+func DefaultProtocolConfig() ProtocolConfig {
+	return protocol.DefaultConfig()
+}
+
+// RunDecentralized executes DMRA as actual message exchange between UE and
+// BS agents on a discrete-event simulator. The resulting matching is
+// identical to Allocate(net, "dmra") under the same DMRA configuration;
+// the point is the message/round/latency accounting.
+func RunDecentralized(net *Network, cfg ProtocolConfig) (ProtocolResult, error) {
+	return protocol.Run(net, cfg)
+}
+
+// --- socket-level runtime ---
+
+// ClusterResult reports a TCP-cluster DMRA run: the matching plus frame
+// and byte counts.
+type ClusterResult = wire.ClusterResult
+
+// RunCluster executes DMRA with one real TCP server per base station
+// (framed JSON messaging on loopback). The matching is identical to
+// Allocate(net, "dmra") under the same configuration; the point is
+// exercising the deployment path — serialization, sockets, concurrency,
+// clean shutdown.
+func RunCluster(net *Network, cfg DMRAConfig) (ClusterResult, error) {
+	return wire.RunCluster(net, cfg)
+}
+
+// --- exact optimization ---
+
+// ExactSolution is a profit-optimal assignment of a small instance.
+type ExactSolution = opt.Solution
+
+// SolveExact computes the exact TPM optimum by branch-and-bound. It is
+// exponential in the worst case and intended for instances of at most a
+// few dozen UEs; it returns an error when the search exceeds nodeLimit
+// (0 means the default limit).
+func SolveExact(net *Network, nodeLimit int) (ExactSolution, error) {
+	s := opt.Solver{NodeLimit: nodeLimit}
+	return s.Solve(net)
+}
+
+// --- latency / QoS ---
+
+// QoSConfig parameterizes the task-latency model (uplink transfer + edge
+// or cloud turnaround + processing).
+type QoSConfig = qos.Config
+
+// LatencyReport summarizes the latency distribution of an assignment.
+type LatencyReport = qos.Report
+
+// DefaultQoSConfig returns the documented default latency model.
+func DefaultQoSConfig() QoSConfig {
+	return qos.DefaultConfig()
+}
+
+// EvaluateLatency estimates per-task service latency for an assignment —
+// the QoS quantity the paper's introduction motivates: cloud-forwarded
+// tasks pay the WAN round trip.
+func EvaluateLatency(net *Network, a Assignment, cfg QoSConfig) (LatencyReport, error) {
+	return qos.Evaluate(net, a, cfg)
+}
+
+// --- dynamic (online) sessions ---
+
+// OnlineConfig parameterizes a dynamic arrival/departure session (the
+// "adjust in real time" setting the paper's §V motivates).
+type OnlineConfig = online.Config
+
+// OnlineReport summarizes a dynamic session: lifecycle counts, edge/cloud
+// split, time-integrated profit, and utilization.
+type OnlineReport = online.Report
+
+// DefaultOnlineConfig returns a moderately loaded dynamic session over the
+// default scenario.
+func DefaultOnlineConfig() OnlineConfig {
+	return online.DefaultConfig()
+}
+
+// RunOnline executes a dynamic session: Poisson arrivals, exponential
+// holding times, periodic re-allocation with the configured algorithm.
+func RunOnline(cfg OnlineConfig) (OnlineReport, error) {
+	return online.Run(cfg)
+}
+
+// --- figure reproduction ---
+
+// Figure describes one of the paper's evaluation figures.
+type Figure = exp.Figure
+
+// FigureOptions controls figure replication.
+type FigureOptions = exp.Options
+
+// Table is a figure's aggregated data with text and CSV renderers.
+type Table = metrics.Table
+
+// Figures returns runners for all six figures of the paper (Figs. 2-7).
+func Figures() []Figure {
+	return exp.Figures()
+}
+
+// FigureByID returns the runner for one paper figure (2-7).
+func FigureByID(id int) (Figure, error) {
+	return exp.FigureByID(id)
+}

@@ -1,0 +1,238 @@
+package dmra
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 300
+	net, err := BuildNetwork(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(net, "dmra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit.TotalProfit() <= 0 {
+		t.Errorf("profit = %v, want positive", res.Profit.TotalProfit())
+	}
+	if err := ValidateAssignment(net, res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+	if got := Profit(net, res.Assignment).TotalProfit(); got != res.Profit.TotalProfit() {
+		t.Error("Profit() disagrees with Allocate's report")
+	}
+}
+
+func TestFacadeUnknownAlgorithm(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 10
+	net, err := BuildNetwork(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Allocate(net, "oracle"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestFacadeDMRAConfig(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 200
+	net, err := BuildNetwork(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDMRAConfig()
+	viaConfig, err := AllocateDMRA(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaName, err := Allocate(net, "dmra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaConfig.Profit.TotalProfit() != viaName.Profit.TotalProfit() {
+		t.Error("AllocateDMRA(default) differs from Allocate(\"dmra\")")
+	}
+}
+
+func TestFacadeDecentralizedParity(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 150
+	net, err := BuildNetwork(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := Allocate(net, "dmra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := RunDecentralized(net, DefaultProtocolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range sync.Assignment.ServingBS {
+		if sync.Assignment.ServingBS[u] != dist.Assignment.ServingBS[u] {
+			t.Fatalf("UE %d: sync %d vs decentralized %d", u,
+				sync.Assignment.ServingBS[u], dist.Assignment.ServingBS[u])
+		}
+	}
+	if dist.Messages == 0 || dist.Rounds == 0 {
+		t.Error("decentralized run reported no messages/rounds")
+	}
+}
+
+func TestFacadeExactSolver(t *testing.T) {
+	s := DefaultScenario()
+	s.SPs, s.BSsPerSP = 2, 2
+	s.Services, s.ServicesPerBS = 2, 2
+	s.UEs = 6
+	s.AreaWidthM, s.AreaHeightM = 600, 600
+	net, err := BuildNetwork(s, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveExact(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(net, "dmra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profit.TotalProfit() > sol.Profit+1e-6 {
+		t.Errorf("DMRA %v beat the exact optimum %v", res.Profit.TotalProfit(), sol.Profit)
+	}
+}
+
+func TestFacadeScenarioRoundTrip(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 42
+	path := filepath.Join(t.TempDir(), "s.json")
+	if err := SaveScenario(s, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Error("scenario round trip mismatch")
+	}
+}
+
+func TestFacadeFigures(t *testing.T) {
+	if got := len(Figures()); got != 6 {
+		t.Fatalf("Figures() = %d, want 6", got)
+	}
+	fig, err := FigureByID(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig.XValues = []float64{0, 500}
+	tab, err := fig.Run(FigureOptions{Seeds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFacadeOnline(t *testing.T) {
+	cfg := DefaultOnlineConfig()
+	cfg.Scenario.UEs = 300
+	cfg.ArrivalRate = 2
+	cfg.MeanHoldS = 20
+	cfg.DurationS = 60
+	rep, err := RunOnline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrivals == 0 || rep.ProfitTime <= 0 {
+		t.Fatalf("degenerate online report: %+v", rep)
+	}
+}
+
+func TestFacadeLatency(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 200
+	net, err := BuildNetwork(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(net, "dmra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateLatency(net, res.Assignment, DefaultQoSConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 200 || rep.MeanS <= 0 {
+		t.Fatalf("latency report: %+v", rep)
+	}
+}
+
+func TestFacadeCluster(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 80
+	net, err := BuildNetwork(s, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := RunCluster(net, DefaultDMRAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := Allocate(net, "dmra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range sync.Assignment.ServingBS {
+		if sync.Assignment.ServingBS[u] != cres.Assignment.ServingBS[u] {
+			t.Fatalf("UE %d: solver vs TCP cluster mismatch", u)
+		}
+	}
+	if cres.BytesSent == 0 {
+		t.Error("no bytes counted")
+	}
+}
+
+func TestFacadeHexPlacement(t *testing.T) {
+	s := DefaultScenario()
+	s.Placement = PlacementHex
+	s.UEs = 100
+	net, err := BuildNetwork(s, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.BSs) != 25 {
+		t.Fatalf("BSs = %d", len(net.BSs))
+	}
+	if _, err := Allocate(net, "dmra"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExtendedAlgorithms(t *testing.T) {
+	s := DefaultScenario()
+	s.UEs = 150
+	net, err := BuildNetwork(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"stablematch", "localsearch", "auction"} {
+		res, err := Allocate(net, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := ValidateAssignment(net, res.Assignment); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package dmra_test
+
+import (
+	"fmt"
+	"log"
+
+	"dmra"
+)
+
+// The outputs below assert robust facts (counts and orderings) rather
+// than floating-point profit values, so the examples remain stable
+// across architectures.
+
+func ExampleAllocate() {
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = 300
+	net, err := dmra.BuildNetwork(scenario, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dmra.Allocate(net, "dmra")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("UEs:", len(net.UEs))
+	fmt.Println("everyone placed:", res.Profit.ServedUEs()+res.Profit.CloudUEs() == 300)
+	fmt.Println("profitable:", res.Profit.TotalProfit() > 0)
+	// Output:
+	// UEs: 300
+	// everyone placed: true
+	// profitable: true
+}
+
+func ExampleAllocateDMRA() {
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = 200
+	net, err := dmra.BuildNetwork(scenario, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := dmra.DefaultDMRAConfig()
+	cfg.Rho = 500 // sweep Eq. 17's resource weight
+	res, err := dmra.AllocateDMRA(net, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("feasible:", dmra.ValidateAssignment(net, res.Assignment) == nil)
+	// Output:
+	// feasible: true
+}
+
+func ExampleRunDecentralized() {
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = 120
+	net, err := dmra.BuildNetwork(scenario, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := dmra.RunDecentralized(net, dmra.DefaultProtocolConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync, err := dmra.Allocate(net, "dmra")
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	for u := range sync.Assignment.ServingBS {
+		if sync.Assignment.ServingBS[u] != dist.Assignment.ServingBS[u] {
+			same = false
+		}
+	}
+	fmt.Println("matches the synchronous solver:", same)
+	fmt.Println("used messages:", dist.Messages > 0)
+	// Output:
+	// matches the synchronous solver: true
+	// used messages: true
+}
+
+func ExampleFigureByID() {
+	fig, err := dmra.FigureByID(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.Title)
+	// Output:
+	// Fig. 7: Total forwarded traffic load vs. rho (iota=1.1, number of UEs=1000, regular BS placement)
+}
+
+func ExampleSolveExact() {
+	scenario := dmra.DefaultScenario()
+	scenario.SPs, scenario.BSsPerSP = 2, 2
+	scenario.Services, scenario.ServicesPerBS = 2, 2
+	scenario.UEs = 6
+	scenario.AreaWidthM, scenario.AreaHeightM = 600, 600
+	net, err := dmra.BuildNetwork(scenario, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := dmra.SolveExact(net, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dmra.Allocate(net, "dmra")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("DMRA within optimum:", res.Profit.TotalProfit() <= sol.Profit+1e-9)
+	// Output:
+	// DMRA within optimum: true
+}

@@ -1,0 +1,75 @@
+// Densecity compares all allocation algorithms on a rush-hour city-centre
+// scenario — the dense, hotspot-heavy deployment that motivates the paper's
+// introduction — and shows where each algorithm's profit comes from.
+//
+// The scenario pushes the defaults harder: more UEs than the edge can hold,
+// strongly clustered demand (90% of users in three hotspots), and a Zipf
+// service mix so popular services contend for per-service CRU pools.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dmra"
+)
+
+func main() {
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = 1100
+	scenario.UEDist = dmra.UEHotspot
+	scenario.HotspotCount = 3
+	scenario.HotspotSigmaM = 100
+	scenario.HotspotFraction = 0.9
+	scenario.ServiceDist = "zipf"
+	scenario.ZipfS = 1.1
+
+	const seeds = 10
+	algorithms := []string{"dmra", "dcsp", "nonco", "greedy", "random"}
+
+	type agg struct {
+		profit, served, own, fwd float64
+	}
+	totals := make(map[string]*agg, len(algorithms))
+	for _, a := range algorithms {
+		totals[a] = &agg{}
+	}
+
+	for seed := uint64(1); seed <= seeds; seed++ {
+		net, err := dmra.BuildNetwork(scenario, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, algo := range algorithms {
+			res, err := dmra.Allocate(net, algo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t := totals[algo]
+			t.profit += res.Profit.TotalProfit()
+			t.served += float64(res.Profit.ServedUEs())
+			t.fwd += res.Profit.ForwardedTrafficBps / 1e6
+			for _, p := range res.Profit.PerSP {
+				t.own += float64(p.OwnBSUEs)
+			}
+		}
+	}
+
+	fmt.Printf("rush-hour city centre: %d UEs, 3 hotspots, Zipf services, %d seeds\n\n",
+		scenario.UEs, seeds)
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "algorithm\tprofit\tserved\town-BS share\tforwarded Mbps\t")
+	for _, algo := range algorithms {
+		t := totals[algo]
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f%%\t%.0f\t\n",
+			algo, t.profit/seeds, t.served/seeds, 100*t.own/t.served, t.fwd/seeds)
+	}
+	w.Flush()
+
+	fmt.Println("\nreading the table:")
+	fmt.Println("  - nonco packs the hotspot BSs efficiently but strands their overflow;")
+	fmt.Println("  - dcsp spreads load but pays cross-SP and long-distance prices;")
+	fmt.Println("  - dmra redirects overflow to nearby own-SP capacity, which is the paper's point.")
+}

@@ -1,0 +1,47 @@
+// Online runs the dynamic extension: UEs arrive as a Poisson stream, hold
+// their edge allocation for an exponential service time, and depart; the
+// matching policy re-runs every epoch over the newly arrived UEs. It
+// compares DMRA against NonCo across offered loads and shows where the
+// edge starts shedding work to the cloud.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dmra"
+)
+
+func main() {
+	fmt.Println("dynamic MEC market: Poisson arrivals, exponential holds, 1 s re-allocation epochs")
+	fmt.Println()
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "load (UE/s)\talgo\tmean active\tedge ratio\tRRB occupancy\tprofit-time\t")
+	for _, rate := range []float64{2, 5, 8} {
+		for _, algo := range []string{"dmra", "nonco"} {
+			cfg := dmra.DefaultOnlineConfig()
+			cfg.ArrivalRate = rate
+			cfg.MeanHoldS = 90
+			cfg.DurationS = 300
+			cfg.Algorithm = algo
+			cfg.Scenario.UEs = 2000 // concurrent-population bound
+
+			rep, err := dmra.RunOnline(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(w, "%.0f\t%s\t%.0f\t%.0f%%\t%.0f%%\t%.0f\t\n",
+				rate, algo, rep.MeanConcurrent, 100*rep.EdgeRatio(),
+				100*rep.MeanOccupancyRRB, rep.ProfitTime)
+		}
+	}
+	w.Flush()
+
+	fmt.Println("\nas the offered load approaches the edge capacity, the RRB occupancy")
+	fmt.Println("saturates and the edge ratio falls — the surplus streams to the cloud.")
+	fmt.Println("DMRA keeps a higher profit-time integral by keeping subscribers on")
+	fmt.Println("their own SP's BSs and steering arrivals towards spare capacity.")
+}

@@ -1,0 +1,94 @@
+// Pricing studies how the two pricing knobs of Eq. 9-10 shape the market:
+// the cross-SP markup iota and DMRA's resource weight rho (Eq. 17). It
+// reproduces the qualitative stories of the paper's Figs. 4-7 in one run:
+// higher iota makes SP affinity matter; higher rho trades price for spare
+// capacity, cutting cloud forwarding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"dmra"
+)
+
+const seeds = 8
+
+func main() {
+	iotaStudy()
+	rhoStudy()
+}
+
+// iotaStudy sweeps the cross-SP markup and reports how much of DMRA's
+// traffic stays on own-SP base stations.
+func iotaStudy() {
+	fmt.Println("== iota study: what the cross-SP markup does (1000 UEs) ==")
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "iota\tDMRA profit\town-BS share\tNonCo profit\tDMRA advantage\t")
+	for _, iota := range []float64{1.1, 1.5, 2.0, 3.0} {
+		scenario := dmra.DefaultScenario()
+		scenario.UEs = 1000
+		scenario.Pricing.CrossSPFactor = iota
+
+		var dmraProfit, nonco, own, served float64
+		for seed := uint64(1); seed <= seeds; seed++ {
+			net, err := dmra.BuildNetwork(scenario, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := dmra.Allocate(net, "dmra")
+			if err != nil {
+				log.Fatal(err)
+			}
+			dmraProfit += res.Profit.TotalProfit()
+			served += float64(res.Profit.ServedUEs())
+			for _, p := range res.Profit.PerSP {
+				own += float64(p.OwnBSUEs)
+			}
+			resN, err := dmra.Allocate(net, "nonco")
+			if err != nil {
+				log.Fatal(err)
+			}
+			nonco += resN.Profit.TotalProfit()
+		}
+		fmt.Fprintf(w, "%.1f\t%.0f\t%.0f%%\t%.0f\t%+.0f%%\t\n",
+			iota, dmraProfit/seeds, 100*own/served, nonco/seeds,
+			100*(dmraProfit-nonco)/nonco)
+	}
+	w.Flush()
+	fmt.Println()
+}
+
+// rhoStudy sweeps Eq. 17's rho and reports the served/forwarded trade-off
+// (the paper's Figs. 6-7 mechanics).
+func rhoStudy() {
+	fmt.Println("== rho study: resource-awareness vs price (1000 UEs, iota=2) ==")
+	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(w, "rho\tprofit\tserved\tforwarded Mbps\t")
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = 1000
+	for _, rho := range []float64{0, 250, 500, 1000, 2000} {
+		var profit, served, fwd float64
+		for seed := uint64(1); seed <= seeds; seed++ {
+			net, err := dmra.BuildNetwork(scenario, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cfg := dmra.DefaultDMRAConfig()
+			cfg.Rho = rho
+			res, err := dmra.AllocateDMRA(net, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			profit += res.Profit.TotalProfit()
+			served += float64(res.Profit.ServedUEs())
+			fwd += res.Profit.ForwardedTrafficBps / 1e6
+		}
+		fmt.Fprintf(w, "%.0f\t%.0f\t%.0f\t%.0f\t\n", rho, profit/seeds, served/seeds, fwd/seeds)
+	}
+	w.Flush()
+	fmt.Println("\nrho up => UEs chase spare capacity: more served, less forwarded;")
+	fmt.Println("past the sweet spot the price signal drowns and profit dips again.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: build the paper's default scenario, run DMRA, and print the
+// headline numbers. This is the smallest complete use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dmra"
+)
+
+func main() {
+	// The default scenario is the paper's §VI setup: 5 SPs x 5 BSs on a
+	// 300 m grid, 6 services, clustered UEs.
+	scenario := dmra.DefaultScenario()
+	scenario.UEs = 600
+
+	// Scenarios are pure values; the same (scenario, seed) pair always
+	// produces the identical network.
+	net, err := dmra.BuildNetwork(scenario, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := dmra.Allocate(net, "dmra")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("UEs served at the edge: %d / %d\n", res.Profit.ServedUEs(), len(net.UEs))
+	fmt.Printf("forwarded to the cloud: %d UEs (%.0f Mbps of backbone load)\n",
+		res.Profit.CloudUEs(), res.Profit.ForwardedTrafficBps/1e6)
+	fmt.Printf("total SP profit (Eq. 11): %.1f\n", res.Profit.TotalProfit())
+
+	for _, p := range res.Profit.PerSP {
+		fmt.Printf("  %s: profit %.1f (%d UEs, %d on its own BSs)\n",
+			net.SPs[p.SP].Name, p.Profit(), p.ServedUEs, p.OwnBSUEs)
+	}
+}

@@ -1,0 +1,3 @@
+module dmra
+
+go 1.22

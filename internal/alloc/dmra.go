@@ -1,0 +1,288 @@
+package alloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmra/internal/mec"
+)
+
+// DMRAConfig parameterizes the DMRA scheme. The ablation switches exist to
+// measure what each Alg. 1 design choice contributes; the paper's algorithm
+// is the default configuration.
+type DMRAConfig struct {
+	// Rho is the weight of the remaining-resource term in the UE
+	// preference v_{u,i} (Eq. 17). Larger values push UEs towards BSs with
+	// more spare capacity; the paper sweeps it in Figs. 6-7.
+	Rho float64
+	// SPPriority enables the same-SP-first selection of Alg. 1 lines
+	// 13-16. Disabling it is ablation A1.
+	SPPriority bool
+	// FuTieBreak enables the smallest-f_u tie-break (prefer UEs with few
+	// alternative BSs). Disabling it is ablation A3.
+	FuTieBreak bool
+}
+
+// DefaultDMRAConfig returns the paper's algorithm with a mid-sweep rho
+// (the Fig. 6 sweep peaks between rho = 250 and 1000 under the default
+// scenario; 250 performs well at both iota settings).
+func DefaultDMRAConfig() DMRAConfig {
+	return DMRAConfig{Rho: 250, SPPriority: true, FuTieBreak: true}
+}
+
+// Preference evaluates v_{u,i} (Eq. 17) from a UE's local view of BS
+// resources: price plus rho over the BS's remaining CRUs for the requested
+// service plus its remaining RRBs. An exhausted BS (denominator <= 0) is
+// infinitely unattractive. Both the synchronous solver and the
+// message-passing protocol in internal/protocol route their decisions
+// through this one function, which is what makes their outputs identical.
+func (c DMRAConfig) Preference(l mec.Link, remCRU, remRRBs int) float64 {
+	denom := float64(remCRU + remRRBs)
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return l.PricePerCRU + c.Rho/denom
+}
+
+// Request is one UE->BS service request of an Alg. 1 iteration. It carries
+// what the paper's line 7 says a request carries: the link (location,
+// service, demands are derivable from it) and the UE's coverage count f_u.
+type Request struct {
+	Link mec.Link
+	// Fu is f_u, the number of BSs covering the UE.
+	Fu int
+}
+
+// SelectPerService picks, for every service with requesters, the single UE
+// the BS prefers (Alg. 1 lines 13-21): same-SP candidates first (if
+// enabled), then smallest f_u (if enabled), then smallest combined
+// footprint n_{u,i} + c_j^u, then lowest UE ID for determinism.
+func (c DMRAConfig) SelectPerService(net *mec.Network, reqs []Request) []Request {
+	byService := make(map[mec.ServiceID][]Request)
+	var services []mec.ServiceID
+	for _, r := range reqs {
+		j := net.UEs[r.Link.UE].Service
+		if _, seen := byService[j]; !seen {
+			services = append(services, j)
+		}
+		byService[j] = append(byService[j], r)
+	}
+	sort.Slice(services, func(a, b int) bool { return services[a] < services[b] })
+
+	selected := make([]Request, 0, len(services))
+	for _, j := range services {
+		group := byService[j]
+		if c.SPPriority {
+			if same := filterRequests(group, func(r Request) bool { return r.Link.SameSP }); len(same) > 0 {
+				group = same
+			}
+		}
+		if c.FuTieBreak {
+			group = argminRequests(group, func(r Request) int { return r.Fu })
+		}
+		group = argminRequests(group, func(r Request) int {
+			return r.Link.RRBs + net.UEs[r.Link.UE].CRUDemand
+		})
+		// Final deterministic tie-break: lowest UE ID.
+		best := group[0]
+		for _, cand := range group[1:] {
+			if cand.Link.UE < best.Link.UE {
+				best = cand
+			}
+		}
+		selected = append(selected, best)
+	}
+	return selected
+}
+
+// SortByBSPreference orders requests most-preferred-first by the BS's
+// criteria, for the radio-budget trimming of Alg. 1 lines 22-25.
+func (c DMRAConfig) SortByBSPreference(net *mec.Network, reqs []Request) {
+	sort.SliceStable(reqs, func(a, b int) bool {
+		return c.bsPrefers(net, reqs[a], reqs[b])
+	})
+}
+
+// bsPrefers orders two requests by the BS's preference (most preferred
+// first), mirroring the selection criteria.
+func (c DMRAConfig) bsPrefers(net *mec.Network, a, b Request) bool {
+	if c.SPPriority && a.Link.SameSP != b.Link.SameSP {
+		return a.Link.SameSP
+	}
+	if c.FuTieBreak && a.Fu != b.Fu {
+		return a.Fu < b.Fu
+	}
+	fa := a.Link.RRBs + net.UEs[a.Link.UE].CRUDemand
+	fb := b.Link.RRBs + net.UEs[b.Link.UE].CRUDemand
+	if fa != fb {
+		return fa < fb
+	}
+	return a.Link.UE < b.Link.UE
+}
+
+// DMRA is the Decentralized Multi-SP Resource Allocation scheme (Alg. 1).
+//
+// This type is the synchronous in-memory solver: it executes the exact
+// propose/select rounds of the decentralized protocol against a shared
+// ledger. internal/protocol runs the same rounds as real message exchange
+// between UE/BS actors; the two are integration-tested to produce identical
+// assignments.
+type DMRA struct {
+	cfg DMRAConfig
+}
+
+var _ Allocator = (*DMRA)(nil)
+
+// NewDMRA returns a DMRA allocator with the given configuration.
+func NewDMRA(cfg DMRAConfig) *DMRA {
+	return &DMRA{cfg: cfg}
+}
+
+// Name implements Allocator.
+func (d *DMRA) Name() string { return "DMRA" }
+
+// Config returns the allocator's configuration.
+func (d *DMRA) Config() DMRAConfig { return d.cfg }
+
+// Preference evaluates v_{u,i} (Eq. 17) under the current ledger.
+func (d *DMRA) Preference(s *mec.State, l mec.Link) float64 {
+	ue := &s.Network().UEs[l.UE]
+	return d.cfg.Preference(l, s.RemainingCRU(l.BS, ue.Service), s.RemainingRRBs(l.BS))
+}
+
+// Allocate implements Allocator by running Alg. 1 to quiescence.
+func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
+	state := mec.NewState(net)
+	cands := newCandidateSet(net)
+	var stats Stats
+
+	// inbox[b] collects the service requests BS b received this iteration.
+	inbox := make([][]Request, len(net.BSs))
+
+	for {
+		stats.Iterations++
+
+		// --- Propose phase (Alg. 1 lines 3-10) ---
+		anyRequest := false
+		for u := range net.UEs {
+			uid := mec.UEID(u)
+			if state.Assigned(uid) {
+				continue
+			}
+			for !cands.empty(uid) {
+				pos, link, ok := d.bestCandidate(state, cands, uid)
+				if !ok {
+					break
+				}
+				if state.CanServe(uid, link.BS) {
+					inbox[link.BS] = append(inbox[link.BS], Request{
+						Link: link,
+						Fu:   net.CoverCount(uid),
+					})
+					stats.Proposals++
+					anyRequest = true
+					break
+				}
+				// Resources never grow back: drop the BS permanently
+				// (Alg. 1 line 10).
+				cands.dropIdx(uid, pos)
+			}
+		}
+		if !anyRequest {
+			break
+		}
+
+		// --- Select phase (Alg. 1 lines 11-26) ---
+		for b := range net.BSs {
+			reqs := inbox[b]
+			if len(reqs) == 0 {
+				continue
+			}
+			inbox[b] = nil
+			selected := d.cfg.SelectPerService(net, reqs)
+			d.admit(state, selected, &stats)
+		}
+
+		if stats.Iterations > len(net.UEs)+1 {
+			// Alg. 1 assigns at least one UE per iteration with pending
+			// requests, so this bound can only trip on an implementation
+			// bug. Fail loudly rather than spin.
+			return Result{}, fmt.Errorf("alloc: DMRA exceeded %d iterations", len(net.UEs)+1)
+		}
+	}
+
+	if err := state.CheckInvariants(); err != nil {
+		return Result{}, fmt.Errorf("alloc: DMRA produced invalid state: %w", err)
+	}
+	return Result{Assignment: state.Snapshot(), Stats: stats}, nil
+}
+
+// bestCandidate returns the position and link of u's minimum-v candidate.
+func (d *DMRA) bestCandidate(s *mec.State, cands *candidateSet, u mec.UEID) (int, mec.Link, bool) {
+	bestPos := -1
+	var bestLink mec.Link
+	bestV := math.Inf(1)
+	cands.forEach(s.Network(), u, func(pos int, l mec.Link) {
+		if v := d.Preference(s, l); v < bestV {
+			bestV, bestPos, bestLink = v, pos, l
+		}
+	})
+	if bestPos < 0 {
+		return 0, mec.Link{}, false
+	}
+	return bestPos, bestLink, true
+}
+
+// admit applies the radio-budget check of Alg. 1 lines 22-25: if all
+// selected UEs fit the BS's remaining RRBs, admit them all; otherwise admit
+// in order of the BS's preference until the budget is exhausted.
+func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) {
+	if len(selected) == 0 {
+		return
+	}
+	total := 0
+	for _, r := range selected {
+		total += r.Link.RRBs
+	}
+	if total > state.RemainingRRBs(selected[0].Link.BS) {
+		d.cfg.SortByBSPreference(state.Network(), selected)
+	}
+	for _, r := range selected {
+		if err := state.Assign(r.Link.UE, r.Link.BS); err != nil {
+			// Over-budget under trimming: the UE stays unassigned and
+			// retries next iteration.
+			stats.Rejects++
+			continue
+		}
+		stats.Accepts++
+	}
+}
+
+// filterRequests returns the requests satisfying keep.
+func filterRequests(reqs []Request, keep func(Request) bool) []Request {
+	var out []Request
+	for _, r := range reqs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// argminRequests returns the subset of requests minimizing key.
+func argminRequests(reqs []Request, key func(Request) int) []Request {
+	best := math.MaxInt
+	for _, r := range reqs {
+		if k := key(r); k < best {
+			best = k
+		}
+	}
+	var out []Request
+	for _, r := range reqs {
+		if key(r) == best {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dmra/internal/workload"
+)
+
+func smallAblationOpts() Options {
+	cfg := workload.Default()
+	cfg.UEs = 250
+	return Options{Seeds: 3, Workload: &cfg}
+}
+
+func TestRunAblations(t *testing.T) {
+	tab, err := RunAblations(smallAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ablationVariants()) {
+		t.Fatalf("rows = %d, want %d", len(tab.Rows), len(ablationVariants()))
+	}
+	byName := make(map[string]AblationRow, len(tab.Rows))
+	for _, r := range tab.Rows {
+		byName[r.Name] = r
+		if r.Profit.N != 3 {
+			t.Errorf("%s: %d samples, want 3", r.Name, r.Profit.N)
+		}
+		if r.Served.Mean <= 0 {
+			t.Errorf("%s: served mean %v", r.Name, r.Served.Mean)
+		}
+		if r.OwnShare.Mean < 0 || r.OwnShare.Mean > 1 {
+			t.Errorf("%s: own share %v outside [0,1]", r.Name, r.OwnShare.Mean)
+		}
+	}
+	// The same-SP priority rule must raise the own-BS share relative to
+	// its ablation.
+	full := byName["DMRA (full)"]
+	noSP := byName["DMRA w/o SP priority (A1)"]
+	if full.OwnShare.Mean <= noSP.OwnShare.Mean {
+		t.Errorf("SP priority did not raise own share: %v vs %v",
+			full.OwnShare.Mean, noSP.OwnShare.Mean)
+	}
+}
+
+func TestAblationRendering(t *testing.T) {
+	tab, err := RunAblations(smallAblationOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := tab.Text()
+	for _, want := range []string{"variant", "profit", "own-BS share", "DMRA (full)", "NonCo"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "variant,profit_mean") {
+		t.Errorf("csv header: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+	if got := strings.Count(csv, "\n"); got != len(tab.Rows)+1 {
+		t.Errorf("csv lines = %d, want %d", got, len(tab.Rows)+1)
+	}
+}
+
+func TestRunProtocolCosts(t *testing.T) {
+	cfg := workload.Default()
+	tab, err := RunProtocolCosts(Options{Seeds: 2, Workload: &cfg}, []int{100, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	rounds, err := tab.SeriesMeans("rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rounds {
+		if r < 1 {
+			t.Errorf("row %d: rounds %v", i, r)
+		}
+	}
+	msgs, err := tab.SeriesMeans("msgs/UE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range msgs {
+		if m <= 1 {
+			t.Errorf("row %d: messages per UE %v, want > 1 (request + accept at least)", i, m)
+		}
+	}
+	if tab.Rows[1].Cells[2].Mean <= 0 {
+		t.Error("sim time not positive")
+	}
+}
+
+func TestRunProtocolCostsDefaultCounts(t *testing.T) {
+	cfg := workload.Default()
+	tab, err := RunProtocolCosts(Options{Seeds: 1, Workload: &cfg}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("default sweep rows = %d, want 5", len(tab.Rows))
+	}
+}

@@ -1,0 +1,292 @@
+// Package exp regenerates the paper's evaluation: one runner per figure
+// (the paper has no numeric tables; Figs. 2-7 are the entire §VI), with
+// multi-seed replication and confidence intervals.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+	"dmra/internal/metrics"
+	"dmra/internal/workload"
+)
+
+// Metric selects what a figure measures.
+type Metric string
+
+// Supported metrics.
+const (
+	// MetricProfit is the total SP profit (Eq. 11), the y-axis of
+	// Figs. 2-6.
+	MetricProfit Metric = "profit"
+	// MetricForwardedMbps is the total forwarded traffic load in Mbit/s,
+	// the y-axis of Fig. 7.
+	MetricForwardedMbps Metric = "forwarded"
+	// MetricServed counts edge-served UEs (not a paper figure; used by
+	// ablations).
+	MetricServed Metric = "served"
+)
+
+// XAxis selects a figure's swept parameter.
+type XAxis string
+
+// Supported sweep axes.
+const (
+	// XUEs sweeps the UE population (Figs. 2-5).
+	XUEs XAxis = "ues"
+	// XRho sweeps Eq. 17's rho weight (Figs. 6-7).
+	XRho XAxis = "rho"
+)
+
+// Figure describes one reproducible figure of §VI.
+type Figure struct {
+	// ID is the paper's figure number (2-7).
+	ID int
+	// Title matches the paper's caption.
+	Title string
+	// Iota is the cross-SP price factor of the scenario.
+	Iota float64
+	// Placement is the BS deployment method.
+	Placement workload.Placement
+	// X and XValues define the sweep.
+	X       XAxis
+	XValues []float64
+	// UEs fixes the population for rho sweeps.
+	UEs int
+	// Algorithms are the series; rho sweeps plot DMRA only.
+	Algorithms []string
+	// Metric is the measured quantity.
+	Metric Metric
+}
+
+// Figures returns the paper's six evaluation figures.
+func Figures() []Figure {
+	ueSweep := []float64{400, 500, 600, 700, 800, 900}
+	rhoSweep := []float64{0, 100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	cmp := []string{"dmra", "dcsp", "nonco"}
+	return []Figure{
+		{ID: 2, Title: "Fig. 2: Total profit of SPs vs. number of UEs (iota=2, regular BS placement)",
+			Iota: 2, Placement: workload.PlacementRegular, X: XUEs, XValues: ueSweep,
+			Algorithms: cmp, Metric: MetricProfit},
+		{ID: 3, Title: "Fig. 3: Total profit of SPs vs. number of UEs (iota=2, random BS placement)",
+			Iota: 2, Placement: workload.PlacementRandom, X: XUEs, XValues: ueSweep,
+			Algorithms: cmp, Metric: MetricProfit},
+		{ID: 4, Title: "Fig. 4: Total profit of SPs vs. number of UEs (iota=1.1, regular BS placement)",
+			Iota: 1.1, Placement: workload.PlacementRegular, X: XUEs, XValues: ueSweep,
+			Algorithms: cmp, Metric: MetricProfit},
+		{ID: 5, Title: "Fig. 5: Total profit of SPs vs. number of UEs (iota=1.1, random BS placement)",
+			Iota: 1.1, Placement: workload.PlacementRandom, X: XUEs, XValues: ueSweep,
+			Algorithms: cmp, Metric: MetricProfit},
+		{ID: 6, Title: "Fig. 6: Total profit of SPs vs. rho (iota=2, number of UEs=1000, regular BS placement)",
+			Iota: 2, Placement: workload.PlacementRegular, X: XRho, XValues: rhoSweep, UEs: 1000,
+			Algorithms: []string{"dmra"}, Metric: MetricProfit},
+		{ID: 7, Title: "Fig. 7: Total forwarded traffic load vs. rho (iota=1.1, number of UEs=1000, regular BS placement)",
+			Iota: 1.1, Placement: workload.PlacementRegular, X: XRho, XValues: rhoSweep, UEs: 1000,
+			Algorithms: []string{"dmra"}, Metric: MetricForwardedMbps},
+	}
+}
+
+// TitleShort returns a compact identifier ("fig2") for file names and
+// sub-benchmark labels.
+func (f Figure) TitleShort() string {
+	return fmt.Sprintf("fig%d", f.ID)
+}
+
+// FigureByID returns the figure with the given paper number.
+func FigureByID(id int) (Figure, error) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	return Figure{}, fmt.Errorf("exp: no figure %d (paper has Figs. 2-7)", id)
+}
+
+// Options controls a figure run.
+type Options struct {
+	// Seeds is the number of independent replications (default 20).
+	Seeds int
+	// BaseSeed offsets the replication seeds (default 1).
+	BaseSeed uint64
+	// Workload overrides the scenario defaults; leave nil for
+	// workload.Default(). Iota, placement, UE count and the swept
+	// parameter are always set by the figure itself.
+	Workload *workload.Config
+	// Rho is the DMRA rho used in UE sweeps (default
+	// alloc.DefaultDMRAConfig().Rho); ignored for rho sweeps.
+	Rho float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seeds <= 0 {
+		o.Seeds = 20
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Rho == 0 {
+		o.Rho = alloc.DefaultDMRAConfig().Rho
+	}
+	return o
+}
+
+// Run executes the figure and returns its data table.
+func (f Figure) Run(opts Options) (*metrics.Table, error) {
+	opts = opts.withDefaults()
+	base := workload.Default()
+	if opts.Workload != nil {
+		base = *opts.Workload
+	}
+	base.Pricing.CrossSPFactor = f.Iota
+	base.Placement = f.Placement
+
+	seriesNames := make([]string, len(f.Algorithms))
+	for i, a := range f.Algorithms {
+		seriesNames[i] = displayName(a)
+	}
+	tab := &metrics.Table{
+		Title:  f.Title,
+		XLabel: string(f.X),
+		YLabel: string(f.Metric),
+		Series: seriesNames,
+	}
+
+	for _, x := range f.XValues {
+		cfg := base
+		var dmraCfg alloc.DMRAConfig
+		switch f.X {
+		case XUEs:
+			cfg.UEs = int(x)
+			dmraCfg = alloc.DMRAConfig{Rho: opts.Rho, SPPriority: true, FuTieBreak: true}
+		case XRho:
+			cfg.UEs = f.UEs
+			dmraCfg = alloc.DMRAConfig{Rho: x, SPPriority: true, FuTieBreak: true}
+		default:
+			return nil, fmt.Errorf("exp: unknown x-axis %q", f.X)
+		}
+
+		samples := make([][]float64, len(f.Algorithms))
+		for seed := 0; seed < opts.Seeds; seed++ {
+			net, err := cfg.Build(opts.BaseSeed + uint64(seed))
+			if err != nil {
+				return nil, fmt.Errorf("exp: figure %d x=%g: %w", f.ID, x, err)
+			}
+			for ai, name := range f.Algorithms {
+				allocator, err := allocatorFor(name, dmraCfg)
+				if err != nil {
+					return nil, err
+				}
+				res, err := allocator.Allocate(net)
+				if err != nil {
+					return nil, fmt.Errorf("exp: figure %d x=%g %s: %w", f.ID, x, name, err)
+				}
+				v, err := measure(f.Metric, net, res.Assignment)
+				if err != nil {
+					return nil, err
+				}
+				samples[ai] = append(samples[ai], v)
+			}
+		}
+		cells := make([]metrics.Summary, len(samples))
+		for i, s := range samples {
+			cells[i] = metrics.Summarize(s)
+		}
+		if err := tab.AddRow(x, cells); err != nil {
+			return nil, err
+		}
+	}
+	tab.Sort()
+	return tab, nil
+}
+
+// measure extracts the figure metric from an assignment.
+func measure(m Metric, net *mec.Network, a mec.Assignment) (float64, error) {
+	r := mec.Profit(net, a)
+	switch m {
+	case MetricProfit:
+		return r.TotalProfit(), nil
+	case MetricForwardedMbps:
+		return r.ForwardedTrafficBps / 1e6, nil
+	case MetricServed:
+		return float64(r.ServedUEs()), nil
+	default:
+		return 0, fmt.Errorf("exp: unknown metric %q", m)
+	}
+}
+
+// allocatorFor instantiates the named algorithm, honouring the sweep's
+// DMRA configuration.
+func allocatorFor(name string, dmraCfg alloc.DMRAConfig) (alloc.Allocator, error) {
+	if name == "dmra" {
+		return alloc.NewDMRA(dmraCfg), nil
+	}
+	return alloc.ByName(name)
+}
+
+// Significance runs Welch's t-test of series a against series b at every
+// row of a figure table, answering "is a's lead statistically real?".
+func Significance(tab *metrics.Table, a, b string) ([]metrics.WelchResult, error) {
+	ca, err := tab.SeriesCells(a)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := tab.SeriesCells(b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]metrics.WelchResult, len(ca))
+	for i := range ca {
+		out[i] = metrics.WelchTTest(ca[i], cb[i])
+	}
+	return out, nil
+}
+
+// SignificanceSummary renders one line per baseline summarizing where the
+// first series' lead over it is significant at the 0.05 level, e.g.
+// "DMRA > DCSP: significant at 6/6 points (max p = 0.003)".
+func SignificanceSummary(tab *metrics.Table) (string, error) {
+	if len(tab.Series) < 2 {
+		return "", nil
+	}
+	lead := tab.Series[0]
+	var b strings.Builder
+	for _, other := range tab.Series[1:] {
+		results, err := Significance(tab, lead, other)
+		if err != nil {
+			return "", err
+		}
+		sig := 0
+		maxP := 0.0
+		for _, r := range results {
+			if r.T > 0 && r.Significant(0.05) {
+				sig++
+			}
+			if r.P > maxP {
+				maxP = r.P
+			}
+		}
+		fmt.Fprintf(&b, "%s > %s: significant (p<0.05) at %d/%d points (max p = %.3g)\n",
+			lead, other, sig, len(results), maxP)
+	}
+	return b.String(), nil
+}
+
+// displayName maps allocator keys to the paper's series labels.
+func displayName(key string) string {
+	switch key {
+	case "dmra":
+		return "DMRA"
+	case "dcsp":
+		return "DCSP"
+	case "nonco":
+		return "NonCo"
+	case "random":
+		return "Random"
+	case "greedy":
+		return "Greedy"
+	default:
+		return key
+	}
+}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"dmra/internal/metrics"
+	"dmra/internal/protocol"
+	"dmra/internal/workload"
+)
+
+// RunProtocolCosts measures the decentralized runtime's costs — rounds,
+// messages per UE, and simulated completion time — across UE populations.
+// This quantifies the overhead of executing Alg. 1 as real message
+// exchange (DESIGN.md ablation A4); the matching itself is identical to
+// the synchronous solver's.
+func RunProtocolCosts(opts Options, ueCounts []int) (*metrics.Table, error) {
+	opts = opts.withDefaults()
+	base := workload.Default()
+	if opts.Workload != nil {
+		base = *opts.Workload
+	}
+	if len(ueCounts) == 0 {
+		ueCounts = []int{200, 400, 600, 800, 1000}
+	}
+
+	tab := &metrics.Table{
+		Title:  fmt.Sprintf("Decentralized protocol costs (1 ms latency, %d seeds)", opts.Seeds),
+		XLabel: "ues",
+		YLabel: "cost",
+		Series: []string{"rounds", "msgs/UE", "sim ms"},
+	}
+	for _, n := range ueCounts {
+		cfg := base
+		cfg.UEs = n
+		var rounds, perUE, simMS []float64
+		for seed := 0; seed < opts.Seeds; seed++ {
+			net, err := cfg.Build(opts.BaseSeed + uint64(seed))
+			if err != nil {
+				return nil, err
+			}
+			pc := protocol.DefaultConfig()
+			pc.DMRA.Rho = opts.Rho
+			res, err := protocol.Run(net, pc)
+			if err != nil {
+				return nil, fmt.Errorf("exp: protocol costs at %d UEs: %w", n, err)
+			}
+			rounds = append(rounds, float64(res.Rounds))
+			if n > 0 {
+				perUE = append(perUE, float64(res.Messages)/float64(n))
+			} else {
+				perUE = append(perUE, 0)
+			}
+			simMS = append(simMS, res.SimTimeS*1e3)
+		}
+		cells := []metrics.Summary{
+			metrics.Summarize(rounds),
+			metrics.Summarize(perUE),
+			metrics.Summarize(simMS),
+		}
+		if err := tab.AddRow(float64(n), cells); err != nil {
+			return nil, err
+		}
+	}
+	tab.Sort()
+	return tab, nil
+}

@@ -1,0 +1,49 @@
+package matching
+
+import (
+	"testing"
+
+	"dmra/internal/rng"
+)
+
+func benchPrefs(n int) ([][]int, [][]int) {
+	src := rng.New(7)
+	a := make([][]int, n)
+	b := make([][]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = src.Perm(n)
+		b[i] = src.Perm(n)
+	}
+	return a, b
+}
+
+func BenchmarkStableMarriage100(b *testing.B) {
+	p, r := benchPrefs(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StableMarriage(p, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHospitalsResidents(b *testing.B) {
+	src := rng.New(9)
+	const nr, nh = 200, 20
+	residents := make([][]int, nr)
+	for i := range residents {
+		residents[i] = src.Perm(nh)
+	}
+	hospitals := make([][]int, nh)
+	capacity := make([]int, nh)
+	for j := range hospitals {
+		hospitals[j] = src.Perm(nr)
+		capacity[j] = 10
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HospitalsResidents(residents, hospitals, capacity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package matching implements the matching-theory machinery DMRA builds
+// on: the Gale-Shapley deferred-acceptance algorithm for the classic
+// Stable Marriage Problem (SMP) and its many-to-one generalization
+// (hospitals/residents, a.k.a. college admissions), plus stability
+// verification.
+//
+// The paper (§V) frames UE-BS association as an SMP variant whose
+// preference lists change between iterations and whose participants only
+// rank reachable partners. This package provides the fixed-preference
+// classical core — used directly in property tests and as the conceptual
+// reference for DMRA's propose/select loop — while internal/alloc layers
+// the paper's dynamic preferences and capacity constraints on top.
+package matching
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Unmatched marks a participant without a partner.
+const Unmatched = -1
+
+// Matching is a one-to-one matching: Proposer[i] is the partner of
+// proposer i, Receiver[j] the partner of receiver j, either may be
+// Unmatched.
+type Matching struct {
+	Proposer []int
+	Receiver []int
+}
+
+var (
+	// ErrRaggedPreferences signals preference lists of inconsistent shape.
+	ErrRaggedPreferences = errors.New("matching: ragged or invalid preference lists")
+)
+
+// StableMarriage runs proposer-optimal Gale-Shapley deferred acceptance.
+//
+// proposerPrefs[i] ranks receivers from most to least preferred;
+// receiverPrefs[j] ranks proposers likewise. Lists may be partial: a
+// participant missing from the other side's list is unacceptable to them,
+// and a pair must find each other mutually acceptable to be matched. With
+// complete lists and equal sides this is the textbook SMP and everyone is
+// matched.
+func StableMarriage(proposerPrefs, receiverPrefs [][]int) (Matching, error) {
+	np, nr := len(proposerPrefs), len(receiverPrefs)
+	if err := checkPrefs(proposerPrefs, nr); err != nil {
+		return Matching{}, fmt.Errorf("proposer side: %w", err)
+	}
+	if err := checkPrefs(receiverPrefs, np); err != nil {
+		return Matching{}, fmt.Errorf("receiver side: %w", err)
+	}
+
+	// rank[j][i] is receiver j's rank of proposer i; -1 = unacceptable.
+	rank := make([][]int, nr)
+	for j := range receiverPrefs {
+		rank[j] = make([]int, np)
+		for i := range rank[j] {
+			rank[j][i] = -1
+		}
+		for r, i := range receiverPrefs[j] {
+			rank[j][i] = r
+		}
+	}
+
+	m := Matching{
+		Proposer: fill(np, Unmatched),
+		Receiver: fill(nr, Unmatched),
+	}
+	next := make([]int, np) // next index into proposerPrefs[i] to try
+	// Queue of free proposers that still have receivers to propose to.
+	queue := make([]int, 0, np)
+	for i := 0; i < np; i++ {
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for m.Proposer[i] == Unmatched && next[i] < len(proposerPrefs[i]) {
+			j := proposerPrefs[i][next[i]]
+			next[i]++
+			if rank[j][i] < 0 {
+				continue // j finds i unacceptable
+			}
+			cur := m.Receiver[j]
+			if cur == Unmatched {
+				m.Proposer[i], m.Receiver[j] = j, i
+			} else if rank[j][i] < rank[j][cur] {
+				m.Proposer[cur] = Unmatched
+				m.Proposer[i], m.Receiver[j] = j, i
+				queue = append(queue, cur)
+			}
+		}
+	}
+	return m, nil
+}
+
+// IsStableMarriage reports whether m has no blocking pair under the given
+// preferences: a mutually acceptable pair (i, j) who each strictly prefer
+// the other over their current situation (being unmatched counts as worst).
+func IsStableMarriage(proposerPrefs, receiverPrefs [][]int, m Matching) bool {
+	prank := rankOf(proposerPrefs, len(receiverPrefs))
+	rrank := rankOf(receiverPrefs, len(proposerPrefs))
+	for i := range proposerPrefs {
+		for _, j := range proposerPrefs[i] {
+			if rrank[j][i] < 0 {
+				continue // not mutually acceptable
+			}
+			iPrefersJ := m.Proposer[i] == Unmatched || prank[i][j] < prank[i][m.Proposer[i]]
+			jPrefersI := m.Receiver[j] == Unmatched || rrank[j][i] < rrank[j][m.Receiver[j]]
+			if iPrefersJ && jPrefersI {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HospitalsResidents runs resident-proposing deferred acceptance for the
+// many-to-one case: each hospital j admits at most capacity[j] residents.
+// Preference-list conventions match StableMarriage. It returns, for each
+// resident, the admitting hospital (or Unmatched).
+func HospitalsResidents(residentPrefs, hospitalPrefs [][]int, capacity []int) ([]int, error) {
+	nr, nh := len(residentPrefs), len(hospitalPrefs)
+	if len(capacity) != nh {
+		return nil, fmt.Errorf("matching: %d capacities for %d hospitals", len(capacity), nh)
+	}
+	for j, c := range capacity {
+		if c < 0 {
+			return nil, fmt.Errorf("matching: hospital %d has negative capacity %d", j, c)
+		}
+	}
+	if err := checkPrefs(residentPrefs, nh); err != nil {
+		return nil, fmt.Errorf("resident side: %w", err)
+	}
+	if err := checkPrefs(hospitalPrefs, nr); err != nil {
+		return nil, fmt.Errorf("hospital side: %w", err)
+	}
+
+	rank := rankOf(hospitalPrefs, nr)
+	assigned := fill(nr, Unmatched)
+	admitted := make([][]int, nh) // residents admitted per hospital
+	next := make([]int, nr)
+
+	queue := make([]int, 0, nr)
+	for i := 0; i < nr; i++ {
+		queue = append(queue, i)
+	}
+	for len(queue) > 0 {
+		i := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for assigned[i] == Unmatched && next[i] < len(residentPrefs[i]) {
+			j := residentPrefs[i][next[i]]
+			next[i]++
+			if rank[j][i] < 0 || capacity[j] == 0 {
+				continue
+			}
+			if len(admitted[j]) < capacity[j] {
+				assigned[i] = j
+				admitted[j] = append(admitted[j], i)
+				continue
+			}
+			// Hospital full: evict its worst admit if i ranks better.
+			worstIdx, worst := 0, admitted[j][0]
+			for k, r := range admitted[j] {
+				if rank[j][r] > rank[j][worst] {
+					worstIdx, worst = k, r
+				}
+			}
+			if rank[j][i] < rank[j][worst] {
+				admitted[j][worstIdx] = i
+				assigned[i] = j
+				assigned[worst] = Unmatched
+				queue = append(queue, worst)
+			}
+		}
+	}
+	return assigned, nil
+}
+
+// IsStableHR reports whether an HR assignment admits no blocking pair:
+// a mutually acceptable (resident, hospital) where the resident strictly
+// prefers the hospital over their assignment and the hospital either has a
+// free seat or prefers the resident to one of its admits.
+func IsStableHR(residentPrefs, hospitalPrefs [][]int, capacity, assigned []int) bool {
+	nr, nh := len(residentPrefs), len(hospitalPrefs)
+	rrank := rankOf(residentPrefs, nh)
+	hrank := rankOf(hospitalPrefs, nr)
+	admitted := make([][]int, nh)
+	for i, j := range assigned {
+		if j != Unmatched {
+			admitted[j] = append(admitted[j], i)
+		}
+	}
+	for i := range residentPrefs {
+		for _, j := range residentPrefs[i] {
+			if hrank[j][i] < 0 {
+				continue
+			}
+			if assigned[i] != Unmatched && rrank[i][assigned[i]] <= rrank[i][j] {
+				continue // i does not prefer j
+			}
+			if len(admitted[j]) < capacity[j] {
+				return false
+			}
+			for _, r := range admitted[j] {
+				if hrank[j][i] < hrank[j][r] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func checkPrefs(prefs [][]int, otherSide int) error {
+	for i, list := range prefs {
+		seen := make(map[int]bool, len(list))
+		for _, j := range list {
+			if j < 0 || j >= otherSide {
+				return fmt.Errorf("%w: participant %d ranks out-of-range %d", ErrRaggedPreferences, i, j)
+			}
+			if seen[j] {
+				return fmt.Errorf("%w: participant %d ranks %d twice", ErrRaggedPreferences, i, j)
+			}
+			seen[j] = true
+		}
+	}
+	return nil
+}
+
+// rankOf inverts preference lists: rankOf(prefs, n)[i][j] is i's rank of j,
+// or -1 if unranked.
+func rankOf(prefs [][]int, n int) [][]int {
+	rank := make([][]int, len(prefs))
+	for i, list := range prefs {
+		rank[i] = fill(n, -1)
+		for r, j := range list {
+			rank[i][j] = r
+		}
+	}
+	return rank
+}
+
+func fill(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,288 @@
+package matching
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmra/internal/rng"
+)
+
+func TestStableMarriageTextbook(t *testing.T) {
+	// Gale & Shapley's 1962 example structure: proposer-optimal outcome.
+	proposers := [][]int{
+		{0, 1, 2},
+		{1, 0, 2},
+		{0, 1, 2},
+	}
+	receivers := [][]int{
+		{1, 0, 2},
+		{0, 1, 2},
+		{0, 1, 2},
+	}
+	m, err := StableMarriage(proposers, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsStableMarriage(proposers, receivers, m) {
+		t.Fatal("result not stable")
+	}
+	for i, j := range m.Proposer {
+		if j == Unmatched {
+			t.Fatalf("proposer %d unmatched with complete lists", i)
+		}
+		if m.Receiver[j] != i {
+			t.Fatalf("inconsistent matching: proposer %d -> %d -> %d", i, j, m.Receiver[j])
+		}
+	}
+}
+
+func TestStableMarriageProposerOptimal(t *testing.T) {
+	// With everyone ranking identically, proposer 0 (processed to give
+	// deterministic deferred acceptance) gets receiver preferences applied:
+	// the unique stable matching pairs by receiver rank.
+	proposers := [][]int{
+		{0, 1},
+		{0, 1},
+	}
+	receivers := [][]int{
+		{1, 0}, // receiver 0 prefers proposer 1
+		{0, 1},
+	}
+	m, err := StableMarriage(proposers, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Proposer[1] != 0 || m.Proposer[0] != 1 {
+		t.Fatalf("matching = %v, want proposer1->0, proposer0->1", m.Proposer)
+	}
+	if !IsStableMarriage(proposers, receivers, m) {
+		t.Fatal("not stable")
+	}
+}
+
+func TestStableMarriagePartialLists(t *testing.T) {
+	// Proposer 1 finds nobody acceptable; receiver 1 rejects everyone.
+	proposers := [][]int{
+		{0, 1},
+		{},
+	}
+	receivers := [][]int{
+		{0},
+		{},
+	}
+	m, err := StableMarriage(proposers, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Proposer[0] != 0 {
+		t.Errorf("proposer 0 matched to %d, want 0", m.Proposer[0])
+	}
+	if m.Proposer[1] != Unmatched {
+		t.Errorf("proposer 1 matched to %d, want unmatched", m.Proposer[1])
+	}
+	if m.Receiver[1] != Unmatched {
+		t.Errorf("receiver 1 matched to %d, want unmatched", m.Receiver[1])
+	}
+	if !IsStableMarriage(proposers, receivers, m) {
+		t.Error("partial-list matching not stable")
+	}
+}
+
+func TestStableMarriageRejectsBadPrefs(t *testing.T) {
+	if _, err := StableMarriage([][]int{{5}}, [][]int{{0}}); err == nil {
+		t.Error("out-of-range preference accepted")
+	}
+	if _, err := StableMarriage([][]int{{0, 0}}, [][]int{{0}}); err == nil {
+		t.Error("duplicate preference accepted")
+	}
+	if _, err := StableMarriage([][]int{{0}}, [][]int{{-1}}); err == nil {
+		t.Error("negative preference accepted")
+	}
+}
+
+func TestStableMarriageEmpty(t *testing.T) {
+	m, err := StableMarriage(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Proposer) != 0 || len(m.Receiver) != 0 {
+		t.Fatal("empty instance produced participants")
+	}
+}
+
+func TestIsStableDetectsBlockingPair(t *testing.T) {
+	proposers := [][]int{
+		{0, 1},
+		{0, 1},
+	}
+	receivers := [][]int{
+		{0, 1},
+		{0, 1},
+	}
+	// Pair everyone with their last choice: (0,1) is a blocking pair since
+	// proposer 0 and receiver 0 mutually prefer each other.
+	m := Matching{Proposer: []int{1, 0}, Receiver: []int{1, 0}}
+	if IsStableMarriage(proposers, receivers, m) {
+		t.Fatal("blocking pair not detected")
+	}
+}
+
+func randomPrefs(src *rng.Source, n, other int) [][]int {
+	prefs := make([][]int, n)
+	for i := range prefs {
+		prefs[i] = src.Perm(other)
+	}
+	return prefs
+}
+
+func TestQuickStableMarriageAlwaysStable(t *testing.T) {
+	f := func(seed uint64, npRaw, nrRaw uint8) bool {
+		np := int(npRaw%8) + 1
+		nr := int(nrRaw%8) + 1
+		src := rng.New(seed)
+		proposers := randomPrefs(src, np, nr)
+		receivers := randomPrefs(src, nr, np)
+		m, err := StableMarriage(proposers, receivers)
+		if err != nil {
+			return false
+		}
+		return IsStableMarriage(proposers, receivers, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickStableMarriageCompleteListsPerfect(t *testing.T) {
+	// With complete lists and equal sides, everyone is matched.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		src := rng.New(seed)
+		m, err := StableMarriage(randomPrefs(src, n, n), randomPrefs(src, n, n))
+		if err != nil {
+			return false
+		}
+		for _, j := range m.Proposer {
+			if j == Unmatched {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHospitalsResidentsBasic(t *testing.T) {
+	residents := [][]int{
+		{0, 1},
+		{0, 1},
+		{0, 1},
+	}
+	hospitals := [][]int{
+		{0, 1, 2},
+		{0, 1, 2},
+	}
+	capacity := []int{2, 1}
+	assigned, err := HospitalsResidents(residents, hospitals, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hospital 0 takes its two favourites (0, 1); resident 2 goes to 1.
+	want := []int{0, 0, 1}
+	for i, j := range assigned {
+		if j != want[i] {
+			t.Errorf("resident %d -> hospital %d, want %d", i, j, want[i])
+		}
+	}
+	if !IsStableHR(residents, hospitals, capacity, assigned) {
+		t.Error("not stable")
+	}
+}
+
+func TestHospitalsResidentsEviction(t *testing.T) {
+	// Resident 1 proposes after 0 fills the only seat, and evicts 0
+	// because the hospital prefers 1.
+	residents := [][]int{
+		{0},
+		{0},
+	}
+	hospitals := [][]int{
+		{1, 0},
+	}
+	assigned, err := HospitalsResidents(residents, hospitals, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned[1] != 0 || assigned[0] != Unmatched {
+		t.Fatalf("assigned = %v, want [unmatched, 0]", assigned)
+	}
+}
+
+func TestHospitalsResidentsZeroCapacity(t *testing.T) {
+	assigned, err := HospitalsResidents([][]int{{0}}, [][]int{{0}}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assigned[0] != Unmatched {
+		t.Fatal("resident admitted to zero-capacity hospital")
+	}
+}
+
+func TestHospitalsResidentsErrors(t *testing.T) {
+	if _, err := HospitalsResidents([][]int{{0}}, [][]int{{0}}, []int{1, 2}); err == nil {
+		t.Error("capacity length mismatch accepted")
+	}
+	if _, err := HospitalsResidents([][]int{{0}}, [][]int{{0}}, []int{-1}); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := HospitalsResidents([][]int{{3}}, [][]int{{0}}, []int{1}); err == nil {
+		t.Error("out-of-range preference accepted")
+	}
+}
+
+func TestQuickHRAlwaysStable(t *testing.T) {
+	f := func(seed uint64, nrRaw, nhRaw uint8) bool {
+		nr := int(nrRaw%10) + 1
+		nh := int(nhRaw%4) + 1
+		src := rng.New(seed)
+		residents := randomPrefs(src, nr, nh)
+		hospitals := randomPrefs(src, nh, nr)
+		capacity := make([]int, nh)
+		for j := range capacity {
+			capacity[j] = src.Intn(4)
+		}
+		assigned, err := HospitalsResidents(residents, hospitals, capacity)
+		if err != nil {
+			return false
+		}
+		// Capacities respected.
+		load := make([]int, nh)
+		for _, j := range assigned {
+			if j != Unmatched {
+				load[j]++
+			}
+		}
+		for j := range load {
+			if load[j] > capacity[j] {
+				return false
+			}
+		}
+		return IsStableHR(residents, hospitals, capacity, assigned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsStableHRDetectsBlocking(t *testing.T) {
+	residents := [][]int{{0}}
+	hospitals := [][]int{{0}}
+	capacity := []int{1}
+	// Leaving the mutually acceptable pair unmatched with a free seat is
+	// unstable.
+	if IsStableHR(residents, hospitals, capacity, []int{Unmatched}) {
+		t.Fatal("free-seat blocking pair not detected")
+	}
+}

@@ -1,0 +1,236 @@
+package mec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dmra/internal/radio"
+)
+
+// Link is the precomputed state of one reachable, service-compatible UE-BS
+// pair. Allocators iterate candidate links instead of re-deriving radio and
+// pricing quantities on every proposal round.
+type Link struct {
+	UE UEID
+	BS BSID
+	// DistanceM is d_{i,u} in metres.
+	DistanceM float64
+	// RRBs is n_{u,i} (Eq. 3): radio blocks the BS must allocate.
+	RRBs int
+	// PricePerCRU is p_{i,u} (Eq. 9-10).
+	PricePerCRU float64
+	// SameSP records whether the UE and BS belong to the same SP.
+	SameSP bool
+	// SINR is lambda_{u,i} (linear), including the link's shadowing draw
+	// when enabled; NonCo ranks candidates by it.
+	SINR float64
+	// ShadowDB is the link's log-normal shadowing loss (0 when disabled).
+	ShadowDB float64
+}
+
+// Network is an immutable scenario: the entity sets of Table I plus every
+// derived per-link quantity. Build one with NewNetwork and share it freely;
+// all methods are safe for concurrent readers.
+type Network struct {
+	SPs      []SP
+	BSs      []BS
+	UEs      []UE
+	Services int
+	Radio    radio.Config
+	Pricing  Pricing
+
+	// links[u] holds the candidate links of UE u (B_u in Alg. 1): BSs that
+	// cover u and host u's requested service, in BS order.
+	links [][]Link
+	// coverCount[u] is f_u: how many BSs cover u and host its service.
+	coverCount []int
+}
+
+// NewNetwork validates the scenario and precomputes per-link radio and
+// pricing state. It returns an error for structurally invalid scenarios
+// (bad references, capacity/pricing violations of Eq. 16, invalid radio
+// parameters).
+func NewNetwork(sps []SP, bss []BS, ues []UE, services int, rc radio.Config, pr Pricing) (*Network, error) {
+	n := &Network{
+		SPs:      sps,
+		BSs:      bss,
+		UEs:      ues,
+		Services: services,
+		Radio:    rc,
+		Pricing:  pr,
+	}
+	if err := n.validate(); err != nil {
+		return nil, err
+	}
+	if err := n.buildLinks(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *Network) validate() error {
+	if err := n.Radio.Validate(); err != nil {
+		return err
+	}
+	if err := n.Pricing.Validate(); err != nil {
+		return err
+	}
+	if len(n.SPs) == 0 {
+		return errors.New("mec: scenario has no SPs")
+	}
+	if n.Services <= 0 {
+		return fmt.Errorf("mec: scenario has %d services, want > 0", n.Services)
+	}
+	for i, sp := range n.SPs {
+		if sp.ID != SPID(i) {
+			return fmt.Errorf("mec: SP at index %d has ID %d", i, sp.ID)
+		}
+		if sp.CRUPrice <= 0 {
+			return fmt.Errorf("mec: SP %d has non-positive CRU price %g", i, sp.CRUPrice)
+		}
+		if sp.OtherCostPerCRU < 0 {
+			return fmt.Errorf("mec: SP %d has negative other-cost %g", i, sp.OtherCostPerCRU)
+		}
+	}
+	for i := range n.BSs {
+		bs := &n.BSs[i]
+		if bs.ID != BSID(i) {
+			return fmt.Errorf("mec: BS at index %d has ID %d", i, bs.ID)
+		}
+		if int(bs.SP) < 0 || int(bs.SP) >= len(n.SPs) {
+			return fmt.Errorf("mec: BS %d references unknown SP %d", i, bs.SP)
+		}
+		if len(bs.CRUCapacity) != n.Services {
+			return fmt.Errorf("mec: BS %d has %d capacity entries, want %d", i, len(bs.CRUCapacity), n.Services)
+		}
+		for j, c := range bs.CRUCapacity {
+			if c < 0 {
+				return fmt.Errorf("mec: BS %d service %d has negative capacity %d", i, j, c)
+			}
+		}
+		if bs.MaxRRBs <= 0 {
+			return fmt.Errorf("mec: BS %d has non-positive RRB budget %d", i, bs.MaxRRBs)
+		}
+	}
+	for i := range n.UEs {
+		ue := &n.UEs[i]
+		if ue.ID != UEID(i) {
+			return fmt.Errorf("mec: UE at index %d has ID %d", i, ue.ID)
+		}
+		if int(ue.SP) < 0 || int(ue.SP) >= len(n.SPs) {
+			return fmt.Errorf("mec: UE %d references unknown SP %d", i, ue.SP)
+		}
+		if int(ue.Service) < 0 || int(ue.Service) >= n.Services {
+			return fmt.Errorf("mec: UE %d requests unknown service %d", i, ue.Service)
+		}
+		if ue.CRUDemand <= 0 {
+			return fmt.Errorf("mec: UE %d has non-positive CRU demand %d", i, ue.CRUDemand)
+		}
+		if ue.RateBps <= 0 {
+			return fmt.Errorf("mec: UE %d has non-positive rate %g", i, ue.RateBps)
+		}
+	}
+	return nil
+}
+
+// buildLinks computes B_u, f_u, and the per-link quantities for every
+// reachable service-compatible pair, and enforces the SP-profitability
+// constraint (Eq. 16) on every candidate link.
+func (n *Network) buildLinks() error {
+	n.links = make([][]Link, len(n.UEs))
+	n.coverCount = make([]int, len(n.UEs))
+	for u := range n.UEs {
+		ue := &n.UEs[u]
+		sp := &n.SPs[ue.SP]
+		var candidates []Link
+		for b := range n.BSs {
+			bs := &n.BSs[b]
+			if !bs.Hosts(ue.Service) {
+				continue
+			}
+			d := ue.Pos.DistanceTo(bs.Pos)
+			if !n.Radio.Covers(d) {
+				continue
+			}
+			shadow := n.Radio.ShadowDB(u, b)
+			rrbs, err := n.Radio.RRBsNeededWith(d, ue.RateBps, shadow)
+			if err != nil {
+				// Covered but rate-unreachable: treat as out of range.
+				continue
+			}
+			if rrbs > bs.MaxRRBs {
+				// The UE alone would exceed the BS's whole radio budget.
+				continue
+			}
+			price := n.PricePerCRU(ue.SP == bs.SP, d)
+			if sp.CRUPrice <= price+sp.OtherCostPerCRU {
+				return fmt.Errorf(
+					"mec: Eq. 16 violated: SP %d price %g <= p_{%d,%d} %g + other cost %g",
+					ue.SP, sp.CRUPrice, b, u, price, sp.OtherCostPerCRU)
+			}
+			candidates = append(candidates, Link{
+				UE:          UEID(u),
+				BS:          BSID(b),
+				DistanceM:   d,
+				RRBs:        rrbs,
+				PricePerCRU: price,
+				SameSP:      ue.SP == bs.SP,
+				SINR:        n.Radio.SINRWith(d, shadow),
+				ShadowDB:    shadow,
+			})
+		}
+		n.links[u] = candidates
+		n.coverCount[u] = len(candidates)
+	}
+	return nil
+}
+
+// PricePerCRU evaluates Eq. 9-10 for a (sameSP, distance) pair.
+func (n *Network) PricePerCRU(sameSP bool, distanceM float64) float64 {
+	b := n.Pricing.BasePrice
+	base := n.Pricing.CrossSPFactor * b
+	if sameSP {
+		base = b
+	}
+	var dist float64
+	if n.Pricing.Law == DistanceLinear {
+		dist = n.Pricing.DistanceSigma * distanceM
+	} else {
+		dist = math.Pow(distanceM, n.Pricing.DistanceSigma)
+	}
+	return base + dist*b
+}
+
+// Candidates returns B_u: the candidate links of UE u. The returned slice
+// is owned by the Network and must not be modified.
+func (n *Network) Candidates(u UEID) []Link {
+	return n.links[u]
+}
+
+// Link returns the precomputed link between UE u and BS b, if b is one of
+// u's candidates.
+func (n *Network) Link(u UEID, b BSID) (Link, bool) {
+	for _, l := range n.links[u] {
+		if l.BS == b {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// CoverCount returns f_u: the number of BSs that cover UE u and host its
+// requested service.
+func (n *Network) CoverCount(u UEID) int {
+	return n.coverCount[u]
+}
+
+// TotalCandidateLinks returns the number of candidate UE-BS pairs, a
+// measure of matching-problem density used in reports.
+func (n *Network) TotalCandidateLinks() int {
+	total := 0
+	for _, ls := range n.links {
+		total += len(ls)
+	}
+	return total
+}

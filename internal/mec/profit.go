@@ -1,0 +1,100 @@
+package mec
+
+// SPProfit is the MEC-layer utility decomposition of one SP (Eq. 5-8).
+type SPProfit struct {
+	SP SPID
+	// Revenue is W_k^r: what the SP's subscribers pay for served CRUs.
+	Revenue float64
+	// BSPayment is W_k^B: what the SP pays BS owners for those CRUs.
+	BSPayment float64
+	// OtherCost is W_k^S: the SP's remaining serving cost.
+	OtherCost float64
+	// ServedUEs counts the SP's subscribers served at the edge.
+	ServedUEs int
+	// CloudUEs counts the SP's subscribers forwarded to the cloud.
+	CloudUEs int
+	// OwnBSUEs counts served subscribers placed on the SP's own BSs.
+	OwnBSUEs int
+}
+
+// Profit returns W_k = W_k^r - W_k^B - W_k^S.
+func (p SPProfit) Profit() float64 {
+	return p.Revenue - p.BSPayment - p.OtherCost
+}
+
+// ProfitReport aggregates the utility of every SP for one assignment plus
+// the system-level quantities the paper's figures track.
+type ProfitReport struct {
+	PerSP []SPProfit
+	// ForwardedTrafficBps is the total required data rate of
+	// cloud-forwarded UEs: the backbone load Fig. 7 plots.
+	ForwardedTrafficBps float64
+	// ForwardedCRUs is the compute demand pushed to the cloud.
+	ForwardedCRUs int
+}
+
+// TotalProfit returns Sum_k W_k, the TPM objective (Eq. 11).
+func (r ProfitReport) TotalProfit() float64 {
+	total := 0.0
+	for _, p := range r.PerSP {
+		total += p.Profit()
+	}
+	return total
+}
+
+// ServedUEs returns the number of UEs served at the edge across all SPs.
+func (r ProfitReport) ServedUEs() int {
+	n := 0
+	for _, p := range r.PerSP {
+		n += p.ServedUEs
+	}
+	return n
+}
+
+// CloudUEs returns the number of UEs forwarded to the remote cloud.
+func (r ProfitReport) CloudUEs() int {
+	n := 0
+	for _, p := range r.PerSP {
+		n += p.CloudUEs
+	}
+	return n
+}
+
+// Profit evaluates the SP utility functions (Eq. 5-8) for an assignment.
+//
+// Cloud-forwarded tasks contribute zero MEC-layer profit: the paper's §VI
+// observes that once edge resources are exhausted "the profit of SP
+// remains unchanged", i.e. cloud serving is profit-neutral at this layer.
+func Profit(net *Network, a Assignment) ProfitReport {
+	r := ProfitReport{PerSP: make([]SPProfit, len(net.SPs))}
+	for k := range net.SPs {
+		r.PerSP[k].SP = SPID(k)
+	}
+	for u := range net.UEs {
+		ue := &net.UEs[u]
+		p := &r.PerSP[ue.SP]
+		b := a.ServingBS[u]
+		if b == CloudBS {
+			p.CloudUEs++
+			r.ForwardedTrafficBps += ue.RateBps
+			r.ForwardedCRUs += ue.CRUDemand
+			continue
+		}
+		l, ok := net.Link(UEID(u), b)
+		if !ok {
+			// Profit is only defined for feasible assignments; validate
+			// first. Skipping keeps the report well-defined regardless.
+			continue
+		}
+		sp := &net.SPs[ue.SP]
+		cru := float64(ue.CRUDemand)
+		p.ServedUEs++
+		if l.SameSP {
+			p.OwnBSUEs++
+		}
+		p.Revenue += cru * sp.CRUPrice
+		p.BSPayment += cru * l.PricePerCRU
+		p.OtherCost += cru * sp.OtherCostPerCRU
+	}
+	return r
+}

@@ -1,0 +1,234 @@
+package mec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Assignment is the outcome of an allocation: for every UE, the serving BS
+// or CloudBS. It is the a_{u,i} decision variable of the TPM problem in
+// dense form.
+type Assignment struct {
+	// ServingBS[u] is the BS serving UE u, or CloudBS if the task was
+	// forwarded to the remote cloud.
+	ServingBS []BSID
+}
+
+// NewAssignment returns an all-cloud assignment for n UEs.
+func NewAssignment(n int) Assignment {
+	a := Assignment{ServingBS: make([]BSID, n)}
+	for i := range a.ServingBS {
+		a.ServingBS[i] = CloudBS
+	}
+	return a
+}
+
+// ServedCount returns the number of UEs served at the edge.
+func (a Assignment) ServedCount() int {
+	c := 0
+	for _, b := range a.ServingBS {
+		if b != CloudBS {
+			c++
+		}
+	}
+	return c
+}
+
+// CloudCount returns the number of UEs forwarded to the remote cloud.
+func (a Assignment) CloudCount() int {
+	return len(a.ServingBS) - a.ServedCount()
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	c := Assignment{ServingBS: make([]BSID, len(a.ServingBS))}
+	copy(c.ServingBS, a.ServingBS)
+	return c
+}
+
+// State tracks the mutable resource ledger of an allocation in progress:
+// remaining CRUs per (BS, service), remaining RRBs per BS, and the current
+// partial assignment. Allocators must route every grant through Assign so
+// that the capacity constraints (Eq. 12, 14) can never be violated.
+type State struct {
+	net *Network
+	// remCRU[b][j] is c_{b,j} minus CRUs already granted.
+	remCRU [][]int
+	// remRRB[b] is N_b minus RRBs already granted.
+	remRRB []int
+	// assignment is the current partial matching.
+	assignment Assignment
+	// rrbsUsed[u] records the RRBs granted to UE u (for release).
+	rrbsUsed []int
+}
+
+// NewState returns a fresh ledger over net with all resources available
+// and every UE unassigned.
+func NewState(net *Network) *State {
+	s := &State{
+		net:        net,
+		remCRU:     make([][]int, len(net.BSs)),
+		remRRB:     make([]int, len(net.BSs)),
+		assignment: NewAssignment(len(net.UEs)),
+		rrbsUsed:   make([]int, len(net.UEs)),
+	}
+	for b := range net.BSs {
+		caps := net.BSs[b].CRUCapacity
+		s.remCRU[b] = make([]int, len(caps))
+		copy(s.remCRU[b], caps)
+		s.remRRB[b] = net.BSs[b].MaxRRBs
+	}
+	return s
+}
+
+// Network returns the immutable scenario this state allocates over.
+func (s *State) Network() *Network { return s.net }
+
+// RemainingCRU returns the unallocated CRUs of BS b for service j.
+func (s *State) RemainingCRU(b BSID, j ServiceID) int {
+	return s.remCRU[b][j]
+}
+
+// RemainingRRBs returns the unallocated radio blocks of BS b.
+func (s *State) RemainingRRBs(b BSID) int {
+	return s.remRRB[b]
+}
+
+// ServingBS returns the BS currently serving UE u, or CloudBS.
+func (s *State) ServingBS(u UEID) BSID {
+	return s.assignment.ServingBS[u]
+}
+
+// Assigned reports whether UE u is currently served at the edge.
+func (s *State) Assigned(u UEID) bool {
+	return s.assignment.ServingBS[u] != CloudBS
+}
+
+// Errors returned by Assign.
+var (
+	ErrAlreadyAssigned = errors.New("mec: UE already assigned")
+	ErrNotCandidate    = errors.New("mec: BS is not a candidate for this UE")
+	ErrNoCRU           = errors.New("mec: insufficient CRUs for service")
+	ErrNoRRB           = errors.New("mec: insufficient RRBs")
+)
+
+// CanServe reports whether BS b currently has the computing and radio
+// resources to take UE u, and that the pair is a candidate link.
+func (s *State) CanServe(u UEID, b BSID) bool {
+	l, ok := s.net.Link(u, b)
+	if !ok {
+		return false
+	}
+	ue := &s.net.UEs[u]
+	return s.remCRU[b][ue.Service] >= ue.CRUDemand && s.remRRB[b] >= l.RRBs
+}
+
+// Assign grants UE u's task to BS b, debiting b's CRU and RRB pools. It
+// fails without side effects if u is already assigned, b is not a candidate
+// for u, or b lacks resources.
+func (s *State) Assign(u UEID, b BSID) error {
+	if s.Assigned(u) {
+		return fmt.Errorf("%w: UE %d on BS %d", ErrAlreadyAssigned, u, s.ServingBS(u))
+	}
+	l, ok := s.net.Link(u, b)
+	if !ok {
+		return fmt.Errorf("%w: UE %d, BS %d", ErrNotCandidate, u, b)
+	}
+	ue := &s.net.UEs[u]
+	if s.remCRU[b][ue.Service] < ue.CRUDemand {
+		return fmt.Errorf("%w: UE %d needs %d CRUs of service %d on BS %d, %d left",
+			ErrNoCRU, u, ue.CRUDemand, ue.Service, b, s.remCRU[b][ue.Service])
+	}
+	if s.remRRB[b] < l.RRBs {
+		return fmt.Errorf("%w: UE %d needs %d RRBs on BS %d, %d left",
+			ErrNoRRB, u, l.RRBs, b, s.remRRB[b])
+	}
+	s.remCRU[b][ue.Service] -= ue.CRUDemand
+	s.remRRB[b] -= l.RRBs
+	s.assignment.ServingBS[u] = b
+	s.rrbsUsed[u] = l.RRBs
+	return nil
+}
+
+// Unassign releases UE u's grant, crediting the resources back. It is a
+// no-op for unassigned UEs. Allocators that re-match UEs across iterations
+// (deferred acceptance with rejection) rely on exact credit/debit symmetry.
+func (s *State) Unassign(u UEID) {
+	b := s.assignment.ServingBS[u]
+	if b == CloudBS {
+		return
+	}
+	ue := &s.net.UEs[u]
+	s.remCRU[b][ue.Service] += ue.CRUDemand
+	s.remRRB[b] += s.rrbsUsed[u]
+	s.rrbsUsed[u] = 0
+	s.assignment.ServingBS[u] = CloudBS
+}
+
+// Snapshot returns a copy of the current assignment.
+func (s *State) Snapshot() Assignment {
+	return s.assignment.Clone()
+}
+
+// CheckInvariants verifies the TPM constraints (Eq. 12-15) against the
+// ledger and returns the first violation. It recomputes resource usage from
+// scratch rather than trusting the incremental counters, so it also detects
+// ledger corruption.
+func (s *State) CheckInvariants() error {
+	usedCRU := make([][]int, len(s.net.BSs))
+	usedRRB := make([]int, len(s.net.BSs))
+	for b := range s.net.BSs {
+		usedCRU[b] = make([]int, s.net.Services)
+	}
+	for u := range s.net.UEs {
+		b := s.assignment.ServingBS[u]
+		if b == CloudBS {
+			continue
+		}
+		l, ok := s.net.Link(UEID(u), b)
+		if !ok {
+			return fmt.Errorf("mec: invariant: UE %d assigned to non-candidate BS %d (Eq. 13)", u, b)
+		}
+		ue := &s.net.UEs[u]
+		usedCRU[b][ue.Service] += ue.CRUDemand
+		usedRRB[b] += l.RRBs
+	}
+	for b := range s.net.BSs {
+		for j := 0; j < s.net.Services; j++ {
+			cap := s.net.BSs[b].CRUCapacity[j]
+			if usedCRU[b][j] > cap {
+				return fmt.Errorf("mec: invariant: BS %d service %d uses %d/%d CRUs (Eq. 12)", b, j, usedCRU[b][j], cap)
+			}
+			if s.remCRU[b][j] != cap-usedCRU[b][j] {
+				return fmt.Errorf("mec: invariant: BS %d service %d ledger says %d CRUs left, recount says %d",
+					b, j, s.remCRU[b][j], cap-usedCRU[b][j])
+			}
+		}
+		if usedRRB[b] > s.net.BSs[b].MaxRRBs {
+			return fmt.Errorf("mec: invariant: BS %d uses %d/%d RRBs (Eq. 14)", b, usedRRB[b], s.net.BSs[b].MaxRRBs)
+		}
+		if s.remRRB[b] != s.net.BSs[b].MaxRRBs-usedRRB[b] {
+			return fmt.Errorf("mec: invariant: BS %d ledger says %d RRBs left, recount says %d",
+				b, s.remRRB[b], s.net.BSs[b].MaxRRBs-usedRRB[b])
+		}
+	}
+	return nil
+}
+
+// ValidateAssignment checks a completed assignment against net's TPM
+// constraints without needing the ledger that produced it.
+func ValidateAssignment(net *Network, a Assignment) error {
+	if len(a.ServingBS) != len(net.UEs) {
+		return fmt.Errorf("mec: assignment covers %d UEs, scenario has %d", len(a.ServingBS), len(net.UEs))
+	}
+	s := NewState(net)
+	for u, b := range a.ServingBS {
+		if b == CloudBS {
+			continue
+		}
+		if err := s.Assign(UEID(u), b); err != nil {
+			return err
+		}
+	}
+	return s.CheckInvariants()
+}

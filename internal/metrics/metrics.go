@@ -1,0 +1,196 @@
+// Package metrics aggregates experiment measurements across seeds and
+// renders them as aligned text tables and CSV — the formats the figure
+// harness in internal/exp and the CLIs emit.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is the descriptive statistics of one measurement series.
+type Summary struct {
+	N    int
+	Mean float64
+	Std  float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes descriptive statistics over samples. The standard
+// deviation is the sample (n-1) estimator; it is zero for fewer than two
+// samples.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	total := 0.0
+	for _, v := range samples {
+		total += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = total / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, v := range samples {
+			ss += (v - s.Mean) * (v - s.Mean)
+		}
+		s.Std = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the ~95% confidence interval of the mean
+// under a normal approximation (1.96 standard errors). It is zero for
+// fewer than two samples.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Table is a figure's data: one row per x value, one summarized cell per
+// series (algorithm).
+type Table struct {
+	// Title labels the table ("Fig. 2: ...").
+	Title string
+	// XLabel names the x column ("UEs", "rho").
+	XLabel string
+	// YLabel names the measured quantity ("total profit").
+	YLabel string
+	// Series are the column names in cell order.
+	Series []string
+	// Rows hold the data in ascending-x order.
+	Rows []Row
+}
+
+// Row is one x position of a Table.
+type Row struct {
+	X     float64
+	Cells []Summary
+}
+
+// AddRow appends a row; cells must match the series count.
+func (t *Table) AddRow(x float64, cells []Summary) error {
+	if len(cells) != len(t.Series) {
+		return fmt.Errorf("metrics: row has %d cells for %d series", len(cells), len(t.Series))
+	}
+	t.Rows = append(t.Rows, Row{X: x, Cells: cells})
+	return nil
+}
+
+// Sort orders rows by ascending x.
+func (t *Table) Sort() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i].X < t.Rows[j].X })
+}
+
+// Text renders the table as an aligned monospace block:
+//
+//	Fig. 2: total profit vs UEs (iota=2, regular)
+//	  UEs        DMRA         DCSP        NonCo
+//	  400    4526 ±60    3217 ±45    3859 ±52
+func (t *Table) Text() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Series)+1)
+	widths[0] = len(t.XLabel)
+	header := make([]string, len(t.Series)+1)
+	header[0] = t.XLabel
+	for i, s := range t.Series {
+		header[i+1] = s
+		widths[i+1] = len(s)
+	}
+	cells := make([][]string, len(t.Rows))
+	for r, row := range t.Rows {
+		cells[r] = make([]string, len(t.Series)+1)
+		cells[r][0] = trimFloat(row.X)
+		if w := len(cells[r][0]); w > widths[0] {
+			widths[0] = w
+		}
+		for c, cell := range row.Cells {
+			s := fmt.Sprintf("%.1f ±%.1f", cell.Mean, cell.CI95())
+			cells[r][c+1] = s
+			if len(s) > widths[c+1] {
+				widths[c+1] = len(s)
+			}
+		}
+	}
+	writeRow := func(cols []string) {
+		for i, col := range cols {
+			fmt.Fprintf(&b, "  %*s", widths[i], col)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with mean and ci95
+// columns per series.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, ",%s_mean,%s_ci95", s, s)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(trimFloat(row.X))
+		for _, cell := range row.Cells {
+			fmt.Fprintf(&b, ",%g,%g", cell.Mean, cell.CI95())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SeriesMeans returns the mean column for one series name.
+func (t *Table) SeriesMeans(name string) ([]float64, error) {
+	cells, err := t.SeriesCells(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(cells))
+	for i, c := range cells {
+		out[i] = c.Mean
+	}
+	return out, nil
+}
+
+// SeriesCells returns the full summaries of one series in row order.
+func (t *Table) SeriesCells(name string) ([]Summary, error) {
+	idx := -1
+	for i, s := range t.Series {
+		if s == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("metrics: no series %q", name)
+	}
+	out := make([]Summary, len(t.Rows))
+	for r, row := range t.Rows {
+		out[r] = row.Cells[idx]
+	}
+	return out, nil
+}
+
+// trimFloat formats x without trailing zeros.
+func trimFloat(x float64) string {
+	if x == math.Trunc(x) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dmra/internal/rng"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("empty CI should be 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Std != 0 || s.Min != 42 || s.Max != 42 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v, want 5", s.Mean)
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.CI95() <= 0 {
+		t.Error("CI95 should be positive for n > 1")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(1)
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = src.NormFloat64()
+	}
+	for i := range large {
+		large[i] = src.NormFloat64()
+	}
+	if Summarize(large).CI95() >= Summarize(small).CI95() {
+		t.Error("CI did not shrink with more samples")
+	}
+}
+
+func TestQuickSummarizeBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		src := rng.New(seed)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.FloatBetween(-100, 100)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func newTestTable(t *testing.T) *Table {
+	t.Helper()
+	tab := &Table{
+		Title:  "Fig. X: profit vs UEs",
+		XLabel: "UEs",
+		YLabel: "profit",
+		Series: []string{"DMRA", "DCSP"},
+	}
+	if err := tab.AddRow(600, []Summary{Summarize([]float64{10, 12}), Summarize([]float64{8, 9})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow(400, []Summary{Summarize([]float64{5, 7}), Summarize([]float64{4, 5})}); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestTableAddRowValidates(t *testing.T) {
+	tab := &Table{Series: []string{"a", "b"}}
+	if err := tab.AddRow(1, []Summary{{}}); err == nil {
+		t.Fatal("short row accepted")
+	}
+}
+
+func TestTableSort(t *testing.T) {
+	tab := newTestTable(t)
+	tab.Sort()
+	if tab.Rows[0].X != 400 || tab.Rows[1].X != 600 {
+		t.Fatalf("rows not sorted: %v, %v", tab.Rows[0].X, tab.Rows[1].X)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := newTestTable(t)
+	tab.Sort()
+	text := tab.Text()
+	for _, want := range []string{"Fig. X", "UEs", "DMRA", "DCSP", "400", "600", "11.0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Errorf("text has %d lines, want 4:\n%s", len(lines), text)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := newTestTable(t)
+	tab.Sort()
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines, want 3:\n%s", len(lines), csv)
+	}
+	if lines[0] != "UEs,DMRA_mean,DMRA_ci95,DCSP_mean,DCSP_ci95" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "400,6,") {
+		t.Errorf("csv row = %q", lines[1])
+	}
+}
+
+func TestSeriesMeans(t *testing.T) {
+	tab := newTestTable(t)
+	tab.Sort()
+	means, err := tab.SeriesMeans("DMRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(means) != 2 || means[0] != 6 || means[1] != 11 {
+		t.Fatalf("means = %v, want [6 11]", means)
+	}
+	if _, err := tab.SeriesMeans("nope"); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{400, "400"},
+		{0.5, "0.5"},
+		{1.25, "1.25"},
+		{0, "0"},
+	}
+	for _, tt := range tests {
+		if got := trimFloat(tt.in); got != tt.want {
+			t.Errorf("trimFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

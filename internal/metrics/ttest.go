@@ -1,0 +1,129 @@
+package metrics
+
+import "math"
+
+// WelchResult is the outcome of a Welch two-sample t-test.
+type WelchResult struct {
+	// T is the test statistic (positive when sample A's mean is larger).
+	T float64
+	// DF is the Welch-Satterthwaite degrees of freedom.
+	DF float64
+	// P is the two-sided p-value under the t distribution.
+	P float64
+}
+
+// Significant reports whether the difference is significant at level
+// alpha (e.g. 0.05).
+func (r WelchResult) Significant(alpha float64) bool {
+	return r.P < alpha
+}
+
+// WelchTTest compares two summaries with Welch's unequal-variance t-test.
+// It is the statistic EXPERIMENTS.md uses to claim "DMRA is above the
+// baseline" rather than eyeballing confidence intervals. Degenerate
+// inputs (fewer than two samples, or both variances zero) yield P = 1
+// when the means are equal and P = 0 otherwise.
+func WelchTTest(a, b Summary) WelchResult {
+	if a.N < 2 || b.N < 2 {
+		return degenerate(a, b)
+	}
+	va := a.Std * a.Std / float64(a.N)
+	vb := b.Std * b.Std / float64(b.N)
+	if va+vb == 0 {
+		return degenerate(a, b)
+	}
+	t := (a.Mean - b.Mean) / math.Sqrt(va+vb)
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	return WelchResult{T: t, DF: df, P: twoSidedTPValue(t, df)}
+}
+
+func degenerate(a, b Summary) WelchResult {
+	if a.Mean == b.Mean {
+		return WelchResult{P: 1}
+	}
+	if a.Mean > b.Mean {
+		return WelchResult{T: math.Inf(1)}
+	}
+	return WelchResult{T: math.Inf(-1)}
+}
+
+// twoSidedTPValue returns P(|T_df| >= |t|) via the regularized incomplete
+// beta function: P = I_{df/(df+t^2)}(df/2, 1/2).
+func twoSidedTPValue(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := df / (df + t*t)
+	return regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the continued-fraction expansion (Numerical Recipes betacf).
+func regIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(math.Log(x)*a + math.Log(1-x)*b + lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 200
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dmra/internal/rng"
+)
+
+func normals(seed uint64, n int, mean, std float64) []float64 {
+	src := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + std*src.NormFloat64()
+	}
+	return xs
+}
+
+func TestWelchDetectsClearDifference(t *testing.T) {
+	a := Summarize(normals(1, 30, 10, 1))
+	b := Summarize(normals(2, 30, 5, 1))
+	res := WelchTTest(a, b)
+	if res.T <= 0 {
+		t.Errorf("T = %v, want positive (a > b)", res.T)
+	}
+	if !res.Significant(0.01) {
+		t.Errorf("p = %v, want < 0.01 for a 5-sigma separation", res.P)
+	}
+}
+
+func TestWelchSameDistributionUsuallyInsignificant(t *testing.T) {
+	insig := 0
+	const trials = 20
+	for i := uint64(0); i < trials; i++ {
+		a := Summarize(normals(100+i, 25, 3, 1))
+		b := Summarize(normals(200+i, 25, 3, 1))
+		if !WelchTTest(a, b).Significant(0.05) {
+			insig++
+		}
+	}
+	// Expect ~95% insignificant; allow generous slack.
+	if insig < trials*3/4 {
+		t.Errorf("only %d/%d same-distribution trials were insignificant", insig, trials)
+	}
+}
+
+func TestWelchKnownValue(t *testing.T) {
+	// Reference values computed independently (scipy.stats.ttest_ind with
+	// equal_var=False gives t = -2.8586, df = 27.890, p = 0.0080).
+	a := Summarize([]float64{27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4})
+	b := Summarize([]float64{27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.5, 24.5})
+	res := WelchTTest(a, b)
+	if math.Abs(res.T-(-2.8586)) > 0.001 {
+		t.Errorf("T = %v, want ~-2.8586", res.T)
+	}
+	if math.Abs(res.DF-27.890) > 0.01 {
+		t.Errorf("DF = %v, want ~27.890", res.DF)
+	}
+	if math.Abs(res.P-0.00796) > 0.0005 {
+		t.Errorf("P = %v, want ~0.00796", res.P)
+	}
+}
+
+func TestWelchDegenerate(t *testing.T) {
+	one := Summarize([]float64{5})
+	alsoOne := Summarize([]float64{5})
+	if p := WelchTTest(one, alsoOne).P; p != 1 {
+		t.Errorf("equal singletons: p = %v, want 1", p)
+	}
+	bigger := Summarize([]float64{9})
+	res := WelchTTest(bigger, one)
+	if !math.IsInf(res.T, 1) || res.P != 0 {
+		t.Errorf("distinct singletons: %+v", res)
+	}
+	// Zero variance on both sides with distinct means.
+	a := Summarize([]float64{3, 3, 3})
+	b := Summarize([]float64{4, 4, 4})
+	if res := WelchTTest(a, b); !math.IsInf(res.T, -1) || res.P != 0 {
+		t.Errorf("zero-variance distinct: %+v", res)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if got := regIncBeta(2, 3, 0); got != 0 {
+		t.Errorf("I_0 = %v", got)
+	}
+	if got := regIncBeta(2, 3, 1); got != 1 {
+		t.Errorf("I_1 = %v", got)
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-10 {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	if got, want := regIncBeta(2.5, 4, 0.3), 1-regIncBeta(4, 2.5, 0.7); math.Abs(got-want) > 1e-10 {
+		t.Errorf("symmetry: %v vs %v", got, want)
+	}
+}
+
+func TestTwoSidedTPValueKnown(t *testing.T) {
+	// For df -> large, t = 1.96 gives p ~ 0.05.
+	if p := twoSidedTPValue(1.96, 1000); math.Abs(p-0.0503) > 0.002 {
+		t.Errorf("p(1.96, 1000) = %v, want ~0.05", p)
+	}
+	// t = 0 gives p = 1.
+	if p := twoSidedTPValue(0, 10); math.Abs(p-1) > 1e-9 {
+		t.Errorf("p(0) = %v", p)
+	}
+}

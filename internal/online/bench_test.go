@@ -1,0 +1,18 @@
+package online
+
+import "testing"
+
+func BenchmarkSession(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Scenario.UEs = 600
+	cfg.ArrivalRate = 3
+	cfg.MeanHoldS = 60
+	cfg.DurationS = 120
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

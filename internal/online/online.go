@@ -1,0 +1,459 @@
+// Package online extends the paper's one-shot batch evaluation to the
+// dynamic setting its §V motivates: "each SP needs to adjust its resource
+// allocation strategy in real time to adapt its network to the changing
+// environment. Namely, the best association changes over time."
+//
+// A Session drives a continuous-time simulation on internal/sim: UEs
+// arrive as a Poisson process, hold their allocation for an exponential
+// service time, then depart and release their BS's resources. At every
+// re-allocation epoch the configured matching policy runs over the UEs
+// currently waiting (arrivals since the last epoch plus earlier cloud
+// fallbacks that are still active), exactly as a periodically-executed
+// DMRA would in deployment. The collector reports time-averaged profit
+// rate, edge-service ratio, and per-epoch allocation latency proxies.
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+	"dmra/internal/rng"
+	"dmra/internal/sim"
+	"dmra/internal/workload"
+)
+
+// Config parameterizes a dynamic session.
+type Config struct {
+	// Scenario describes the static substrate (SPs, BSs, radio, pricing).
+	// Its UEs field bounds the *concurrent* population: the UE population
+	// is generated once and each arrival activates one of the inactive
+	// profiles, so radio/link state stays precomputed.
+	Scenario workload.Config
+	// ArrivalRate is the Poisson arrival intensity in UEs per second.
+	ArrivalRate float64
+	// MeanHoldS is the mean exponential task holding time in seconds.
+	MeanHoldS float64
+	// EpochS is the re-allocation period in seconds.
+	EpochS float64
+	// DurationS is the simulated horizon in seconds.
+	DurationS float64
+	// Algorithm names the matching policy re-run each epoch ("dmra",
+	// "dcsp", "nonco", "greedy", "random").
+	Algorithm string
+	// DMRA overrides the DMRA configuration when Algorithm == "dmra".
+	DMRA alloc.DMRAConfig
+	// Seed drives arrivals, holding times, and the scenario build.
+	Seed uint64
+	// RecordSeries captures a per-epoch sample of the session state in
+	// Report.Series (off by default to keep reports small).
+	RecordSeries bool
+}
+
+// DefaultConfig returns a moderately loaded dynamic session over the
+// paper's default scenario: ~5 arrivals/s held ~120 s each (steady-state
+// offered load ~600 concurrent UEs), re-matched every second for 10
+// simulated minutes.
+func DefaultConfig() Config {
+	sc := workload.Default()
+	sc.UEs = 1200 // concurrent-population bound
+	return Config{
+		Scenario:    sc,
+		ArrivalRate: 5,
+		MeanHoldS:   120,
+		EpochS:      1,
+		DurationS:   600,
+		Algorithm:   "dmra",
+		DMRA:        alloc.DefaultDMRAConfig(),
+		Seed:        1,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.ArrivalRate <= 0:
+		return fmt.Errorf("online: arrival rate %g, want positive", c.ArrivalRate)
+	case c.MeanHoldS <= 0:
+		return fmt.Errorf("online: mean hold %g, want positive", c.MeanHoldS)
+	case c.EpochS <= 0:
+		return fmt.Errorf("online: epoch %g, want positive", c.EpochS)
+	case c.DurationS <= 0:
+		return fmt.Errorf("online: duration %g, want positive", c.DurationS)
+	case c.DurationS < c.EpochS:
+		return fmt.Errorf("online: duration %g below one epoch %g", c.DurationS, c.EpochS)
+	}
+	if _, err := alloc.ByName(c.Algorithm); err != nil {
+		return err
+	}
+	return c.Scenario.Validate()
+}
+
+// Report is the outcome of a dynamic session.
+type Report struct {
+	// Arrivals and Departures count UE lifecycle events inside the
+	// horizon; Saturated counts arrivals dropped because the concurrent
+	// population bound was hit (should be zero in a well-sized run).
+	Arrivals   int
+	Departures int
+	Saturated  int
+	// EdgeServed and CloudServed split completed-or-admitted tasks by
+	// where they ran.
+	EdgeServed  int
+	CloudServed int
+	// ProfitTime integrates profit-rate x time: the total MEC-layer profit
+	// earned over the horizon, in price-units (the dynamic analogue of
+	// Eq. 11 where each served task pays per unit of service time).
+	ProfitTime float64
+	// MeanConcurrent is the time-averaged number of active UEs.
+	MeanConcurrent float64
+	// MeanOccupancyRRB is the time-averaged fraction of RRBs in use.
+	MeanOccupancyRRB float64
+	// Epochs counts re-allocation runs; ReassignChecks counts the UEs
+	// examined across them.
+	Epochs         int
+	ReassignChecks int
+	// Series holds one sample per epoch when Config.RecordSeries is set.
+	Series []EpochSample
+}
+
+// EpochSample is the session state at one re-allocation epoch.
+type EpochSample struct {
+	// TimeS is the epoch's simulation time.
+	TimeS float64
+	// Active is the concurrent population (waiting + admitted).
+	Active int
+	// ProfitRate is the instantaneous MEC-layer profit per second.
+	ProfitRate float64
+	// OccupancyRRB is the instantaneous fraction of RRBs in use.
+	OccupancyRRB float64
+}
+
+// EdgeRatio returns the fraction of admitted tasks served at the edge.
+func (r Report) EdgeRatio() float64 {
+	total := r.EdgeServed + r.CloudServed
+	if total == 0 {
+		return 0
+	}
+	return float64(r.EdgeServed) / float64(total)
+}
+
+// ErrNoProfiles is returned when the scenario has a zero UE population.
+var ErrNoProfiles = errors.New("online: scenario has no UE profiles")
+
+// Run executes the dynamic session.
+func Run(cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	net, err := cfg.Scenario.Build(cfg.Seed)
+	if err != nil {
+		return Report{}, err
+	}
+	if len(net.UEs) == 0 {
+		return Report{}, ErrNoProfiles
+	}
+	allocator, err := allocatorFor(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+
+	s := &session{
+		cfg:       cfg,
+		net:       net,
+		state:     mec.NewState(net),
+		allocator: allocator,
+		src:       rng.New(cfg.Seed).SplitLabeled("online"),
+		active:    make(map[mec.UEID]placement, len(net.UEs)),
+	}
+	// Every profile starts inactive and available.
+	s.inactive = make([]mec.UEID, len(net.UEs))
+	for i := range s.inactive {
+		s.inactive[i] = mec.UEID(i)
+	}
+	return s.run()
+}
+
+// placement records where an active UE's task runs.
+type placement struct {
+	bs mec.BSID // CloudBS for cloud-served tasks
+}
+
+type session struct {
+	cfg       Config
+	net       *mec.Network
+	state     *mec.State
+	allocator alloc.Allocator
+	src       *rng.Source
+	engine    sim.Engine
+
+	inactive []mec.UEID
+	// waiting holds arrivals not yet matched (between epochs).
+	waiting []mec.UEID
+	active  map[mec.UEID]placement
+
+	rep Report
+	// integration state for time averages
+	lastT       float64
+	areaActive  float64
+	areaRRBUsed float64
+	totalRRBs   int
+	profitRate  float64 // current profit per second
+	areaProfit  float64
+}
+
+func (s *session) run() (Report, error) {
+	for _, bs := range s.net.BSs {
+		s.totalRRBs += bs.MaxRRBs
+	}
+
+	s.engine.Schedule(s.nextArrival(), s.arrival)
+	s.engine.Schedule(s.cfg.EpochS, s.epoch)
+	// Drive to the horizon; arrival/epoch events re-arm themselves and
+	// check the horizon before acting.
+	for s.engine.Step() {
+	}
+	s.integrateTo(s.cfg.DurationS)
+
+	s.rep.MeanConcurrent = s.areaActive / s.cfg.DurationS
+	if s.totalRRBs > 0 {
+		s.rep.MeanOccupancyRRB = s.areaRRBUsed / (s.cfg.DurationS * float64(s.totalRRBs))
+	}
+	s.rep.ProfitTime = s.areaProfit
+	if err := s.state.CheckInvariants(); err != nil {
+		return Report{}, fmt.Errorf("online: ledger corrupted: %w", err)
+	}
+	return s.rep, nil
+}
+
+func (s *session) nextArrival() float64 {
+	return s.src.ExpFloat64() / s.cfg.ArrivalRate
+}
+
+func (s *session) nextHold() float64 {
+	return s.src.ExpFloat64() * s.cfg.MeanHoldS
+}
+
+// integrateTo advances the time integrals to time t.
+func (s *session) integrateTo(t float64) {
+	t = math.Min(t, s.cfg.DurationS)
+	dt := t - s.lastT
+	if dt <= 0 {
+		return
+	}
+	used := 0
+	for b := range s.net.BSs {
+		used += s.net.BSs[b].MaxRRBs - s.state.RemainingRRBs(mec.BSID(b))
+	}
+	s.areaActive += dt * float64(len(s.active)+len(s.waiting))
+	s.areaRRBUsed += dt * float64(used)
+	s.areaProfit += dt * s.profitRate
+	s.lastT = t
+}
+
+// arrival activates an inactive UE profile and queues it for the next
+// epoch.
+func (s *session) arrival() {
+	if s.engine.Now() >= s.cfg.DurationS {
+		return
+	}
+	s.integrateTo(s.engine.Now())
+	if len(s.inactive) == 0 {
+		s.rep.Saturated++
+	} else {
+		// Pick a random inactive profile so the active population keeps
+		// the scenario's spatial/service mix.
+		k := s.src.Intn(len(s.inactive))
+		u := s.inactive[k]
+		s.inactive[k] = s.inactive[len(s.inactive)-1]
+		s.inactive = s.inactive[:len(s.inactive)-1]
+		s.waiting = append(s.waiting, u)
+		s.rep.Arrivals++
+	}
+	s.engine.Schedule(s.nextArrival(), s.arrival)
+}
+
+// epoch re-runs the matching policy over the waiting UEs.
+func (s *session) epoch() {
+	if s.engine.Now() > s.cfg.DurationS {
+		return
+	}
+	s.integrateTo(s.engine.Now())
+	s.rep.Epochs++
+
+	if len(s.waiting) > 0 {
+		s.match()
+	}
+	if s.cfg.RecordSeries {
+		used := 0
+		for b := range s.net.BSs {
+			used += s.net.BSs[b].MaxRRBs - s.state.RemainingRRBs(mec.BSID(b))
+		}
+		occupancy := 0.0
+		if s.totalRRBs > 0 {
+			occupancy = float64(used) / float64(s.totalRRBs)
+		}
+		s.rep.Series = append(s.rep.Series, EpochSample{
+			TimeS:        s.engine.Now(),
+			Active:       len(s.active) + len(s.waiting),
+			ProfitRate:   s.profitRate,
+			OccupancyRRB: occupancy,
+		})
+	}
+	if s.engine.Now()+s.cfg.EpochS <= s.cfg.DurationS+1e-9 {
+		s.engine.Schedule(s.cfg.EpochS, s.epoch)
+	}
+}
+
+// match runs the allocator restricted to the waiting UEs against the
+// current residual capacities, then commits its grants.
+func (s *session) match() {
+	// Build a sub-network view: the allocator API works on full networks,
+	// so run it over the real network but only commit decisions for
+	// waiting UEs, using a scratch state seeded with current residuals.
+	// Because allocators route all grants through CanServe/Assign on
+	// their scratch ledger, restricting commits to waiting UEs keeps the
+	// real ledger consistent.
+	waitingSet := make(map[mec.UEID]bool, len(s.waiting))
+	for _, u := range s.waiting {
+		waitingSet[u] = true
+	}
+	s.rep.ReassignChecks += len(s.waiting)
+
+	assignment := s.matchWaiting(waitingSet)
+	var stillWaiting []mec.UEID
+	for _, u := range s.waiting {
+		b := assignment[u]
+		hold := s.nextHold()
+		if b == mec.CloudBS {
+			// Cloud fallback: the task runs remotely (zero MEC profit) and
+			// departs after its holding time.
+			s.active[u] = placement{bs: mec.CloudBS}
+			s.rep.CloudServed++
+			s.scheduleDeparture(u, hold)
+			continue
+		}
+		if err := s.state.Assign(u, b); err != nil {
+			// Lost a race against another epoch grant: keep waiting.
+			stillWaiting = append(stillWaiting, u)
+			continue
+		}
+		s.active[u] = placement{bs: b}
+		s.rep.EdgeServed++
+		s.profitRate += s.marginOf(u, b)
+		s.scheduleDeparture(u, hold)
+	}
+	s.waiting = stillWaiting
+}
+
+// matchWaiting computes the policy's choice for each waiting UE given the
+// residual resources. Allocators build their own ledgers over whatever
+// network they are handed, so the session hands them a *reduced* network:
+// the waiting UEs against BSs whose capacities equal the live residuals.
+// BS identifiers are preserved, so the reduced assignment maps directly
+// onto the real ledger.
+func (s *session) matchWaiting(waiting map[mec.UEID]bool) map[mec.UEID]mec.BSID {
+	reduced, idMap, err := s.reducedNetwork(waiting)
+	if err != nil {
+		panic(fmt.Sprintf("online: reduced network: %v", err))
+	}
+	out := make(map[mec.UEID]mec.BSID, len(waiting))
+	for u := range waiting {
+		out[u] = mec.CloudBS
+	}
+	if len(idMap) == 0 {
+		return out
+	}
+	res, err := s.allocator.Allocate(reduced)
+	if err != nil {
+		panic(fmt.Sprintf("online: epoch allocation: %v", err))
+	}
+	for ru, b := range res.Assignment.ServingBS {
+		out[idMap[ru]] = b
+	}
+	return out
+}
+
+// reducedNetwork builds a network whose UEs are the waiting set and whose
+// BS capacities are the current residuals of the live ledger.
+func (s *session) reducedNetwork(waiting map[mec.UEID]bool) (*mec.Network, []mec.UEID, error) {
+	bss := make([]mec.BS, len(s.net.BSs))
+	for b := range s.net.BSs {
+		orig := s.net.BSs[b]
+		caps := make([]int, len(orig.CRUCapacity))
+		for j := range caps {
+			caps[j] = s.state.RemainingCRU(mec.BSID(b), mec.ServiceID(j))
+		}
+		rem := s.state.RemainingRRBs(mec.BSID(b))
+		if rem <= 0 {
+			// mec.NewNetwork requires a positive RRB budget; a fully
+			// drained BS keeps one unusable RRB by zeroing its services.
+			rem = 1
+			for j := range caps {
+				caps[j] = 0
+			}
+		}
+		bss[b] = mec.BS{
+			ID:          mec.BSID(b),
+			SP:          orig.SP,
+			Pos:         orig.Pos,
+			CRUCapacity: caps,
+			MaxRRBs:     rem,
+		}
+	}
+	var (
+		ues   []mec.UE
+		idMap []mec.UEID
+	)
+	for u := range s.net.UEs {
+		if !waiting[mec.UEID(u)] {
+			continue
+		}
+		ue := s.net.UEs[u]
+		ue.ID = mec.UEID(len(ues))
+		ues = append(ues, ue)
+		idMap = append(idMap, mec.UEID(u))
+	}
+	net, err := mec.NewNetwork(s.net.SPs, bss, ues, s.net.Services, s.net.Radio, s.net.Pricing)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, idMap, nil
+}
+
+// marginOf returns the per-second profit of serving UE u on BS b.
+func (s *session) marginOf(u mec.UEID, b mec.BSID) float64 {
+	l, ok := s.net.Link(u, b)
+	if !ok {
+		return 0
+	}
+	return alloc.Margin(s.net, l)
+}
+
+func (s *session) scheduleDeparture(u mec.UEID, hold float64) {
+	s.engine.Schedule(hold, func() {
+		s.integrateTo(s.engine.Now())
+		p, ok := s.active[u]
+		if !ok {
+			return
+		}
+		delete(s.active, u)
+		if p.bs != mec.CloudBS {
+			s.profitRate -= s.marginOf(u, p.bs)
+			s.state.Unassign(u)
+		}
+		s.inactive = append(s.inactive, u)
+		if s.engine.Now() <= s.cfg.DurationS {
+			s.rep.Departures++
+		}
+	})
+}
+
+func allocatorFor(cfg Config) (alloc.Allocator, error) {
+	if cfg.Algorithm == "dmra" {
+		return alloc.NewDMRA(cfg.DMRA), nil
+	}
+	return alloc.ByName(cfg.Algorithm)
+}

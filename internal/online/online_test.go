@@ -1,0 +1,248 @@
+package online
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dmra/internal/alloc"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Scenario.UEs = 400
+	cfg.ArrivalRate = 2
+	cfg.MeanHoldS = 30
+	cfg.DurationS = 120
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string
+	}{
+		{"zero arrivals", func(c *Config) { c.ArrivalRate = 0 }, "arrival rate"},
+		{"zero hold", func(c *Config) { c.MeanHoldS = 0 }, "mean hold"},
+		{"zero epoch", func(c *Config) { c.EpochS = 0 }, "epoch"},
+		{"zero duration", func(c *Config) { c.DurationS = 0 }, "duration"},
+		{"duration below epoch", func(c *Config) { c.DurationS = 0.5; c.EpochS = 1 }, "below one epoch"},
+		{"bad algorithm", func(c *Config) { c.Algorithm = "oracle" }, "unknown allocator"},
+		{"bad scenario", func(c *Config) { c.Scenario.SPs = 0 }, "SPs"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestRunBasicSession(t *testing.T) {
+	rep, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2 arrivals/s over 120 s.
+	if rep.Arrivals < 150 || rep.Arrivals > 350 {
+		t.Errorf("arrivals = %d, want ~240", rep.Arrivals)
+	}
+	if rep.EdgeServed+rep.CloudServed == 0 {
+		t.Fatal("no tasks admitted")
+	}
+	if rep.EdgeRatio() <= 0.5 {
+		t.Errorf("edge ratio = %v, want mostly edge under light load", rep.EdgeRatio())
+	}
+	if rep.ProfitTime <= 0 {
+		t.Errorf("profit-time integral = %v, want positive", rep.ProfitTime)
+	}
+	if rep.Epochs < int(120/fastConfig().EpochS)-2 {
+		t.Errorf("epochs = %d, want ~120", rep.Epochs)
+	}
+	if rep.MeanConcurrent <= 0 {
+		t.Error("mean concurrent population is zero")
+	}
+	if rep.MeanOccupancyRRB <= 0 || rep.MeanOccupancyRRB >= 1 {
+		t.Errorf("mean RRB occupancy = %v, want in (0,1)", rep.MeanOccupancyRRB)
+	}
+	if rep.Saturated != 0 {
+		t.Errorf("saturated = %d, want 0 at this load", rep.Saturated)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrivals != b.Arrivals || a.Departures != b.Departures ||
+		a.EdgeServed != b.EdgeServed || a.CloudServed != b.CloudServed ||
+		a.ProfitTime != b.ProfitTime || a.MeanConcurrent != b.MeanConcurrent {
+		t.Fatalf("non-deterministic session:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	cfg := fastConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Arrivals == b.Arrivals && a.ProfitTime == b.ProfitTime {
+		t.Error("different seeds produced identical sessions")
+	}
+}
+
+func TestLittlesLaw(t *testing.T) {
+	// Under light load: mean concurrent ~ lambda * mean hold (Little's
+	// law), within generous tolerance for a short horizon.
+	cfg := fastConfig()
+	cfg.ArrivalRate = 1
+	cfg.MeanHoldS = 20
+	cfg.DurationS = 400
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.ArrivalRate * cfg.MeanHoldS // 20
+	if math.Abs(rep.MeanConcurrent-want) > want*0.5 {
+		t.Errorf("mean concurrent = %v, Little's law predicts ~%v", rep.MeanConcurrent, want)
+	}
+}
+
+func TestHeavyLoadForwardsToCloud(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ArrivalRate = 20
+	cfg.MeanHoldS = 120
+	cfg.DurationS = 180
+	cfg.Scenario.UEs = 2500
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CloudServed == 0 {
+		t.Error("overloaded session never used the cloud")
+	}
+	if rep.MeanOccupancyRRB < 0.5 {
+		t.Errorf("occupancy = %v, want high under overload", rep.MeanOccupancyRRB)
+	}
+}
+
+func TestDeparturesFreeCapacity(t *testing.T) {
+	// With short holding times the system reaches steady state and keeps
+	// admitting: departures must be within the same order as arrivals.
+	cfg := fastConfig()
+	cfg.MeanHoldS = 10
+	cfg.DurationS = 300
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Departures < rep.Arrivals/2 {
+		t.Errorf("departures = %d vs arrivals = %d: resources are not cycling", rep.Departures, rep.Arrivals)
+	}
+}
+
+func TestAlgorithmsComparableOnline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-algorithm online comparison is slow")
+	}
+	cfg := fastConfig()
+	cfg.ArrivalRate = 8
+	cfg.MeanHoldS = 90
+	cfg.DurationS = 240
+	cfg.Scenario.UEs = 1500
+
+	profits := make(map[string]float64)
+	for _, algo := range []string{"dmra", "nonco", "random"} {
+		c := cfg
+		c.Algorithm = algo
+		if algo == "dmra" {
+			c.DMRA = alloc.DefaultDMRAConfig()
+		}
+		rep, err := Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		profits[algo] = rep.ProfitTime
+	}
+	if profits["dmra"] <= profits["random"] {
+		t.Errorf("online DMRA %v not above random %v", profits["dmra"], profits["random"])
+	}
+}
+
+func TestSaturationCounting(t *testing.T) {
+	// A tiny profile pool must saturate under sustained arrivals.
+	cfg := fastConfig()
+	cfg.Scenario.UEs = 5
+	cfg.ArrivalRate = 5
+	cfg.MeanHoldS = 1000
+	cfg.DurationS = 60
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Saturated == 0 {
+		t.Error("expected saturation with a 5-profile pool")
+	}
+}
+
+func TestRecordSeries(t *testing.T) {
+	cfg := fastConfig()
+	cfg.RecordSeries = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Series) != rep.Epochs {
+		t.Fatalf("series has %d samples for %d epochs", len(rep.Series), rep.Epochs)
+	}
+	prevT := -1.0
+	ramped := false
+	for _, s := range rep.Series {
+		if s.TimeS <= prevT {
+			t.Fatalf("series times not increasing: %v after %v", s.TimeS, prevT)
+		}
+		prevT = s.TimeS
+		if s.OccupancyRRB < 0 || s.OccupancyRRB > 1 {
+			t.Fatalf("occupancy %v outside [0,1]", s.OccupancyRRB)
+		}
+		if s.ProfitRate > 0 {
+			ramped = true
+		}
+	}
+	if !ramped {
+		t.Error("profit rate never became positive")
+	}
+	// Off by default.
+	plain, err := Run(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Series != nil {
+		t.Error("series recorded without RecordSeries")
+	}
+}

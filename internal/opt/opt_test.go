@@ -1,0 +1,219 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmra/internal/alloc"
+	"dmra/internal/geo"
+	"dmra/internal/mec"
+	"dmra/internal/radio"
+	"dmra/internal/workload"
+)
+
+// smallNet builds a tiny random scenario suitable for exact solving.
+func smallNet(t *testing.T, ues int, seed uint64) *mec.Network {
+	t.Helper()
+	cfg := workload.Default()
+	cfg.SPs = 2
+	cfg.BSsPerSP = 2
+	cfg.Services = 2
+	cfg.ServicesPerBS = 2
+	cfg.UEs = ues
+	cfg.AreaWidthM = 600
+	cfg.AreaHeightM = 600
+	cfg.InterSiteM = 300
+	// Tight capacities so the exact solver has real decisions to make.
+	cfg.CRUCapMin, cfg.CRUCapMax = 8, 12
+	net, err := cfg.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSolveEmptyInstance(t *testing.T) {
+	net := smallNet(t, 0, 1)
+	var s Solver
+	sol, err := s.Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Profit != 0 {
+		t.Errorf("empty optimum = %v, want 0", sol.Profit)
+	}
+}
+
+func TestSolveSingleUE(t *testing.T) {
+	// One UE, two candidate BSs: optimum must pick the higher margin.
+	sps := []mec.SP{
+		{ID: 0, Name: "a", CRUPrice: 6, OtherCostPerCRU: 1},
+		{ID: 1, Name: "b", CRUPrice: 6, OtherCostPerCRU: 1},
+	}
+	bss := []mec.BS{
+		{ID: 0, SP: 0, Pos: geo.Point{X: -100}, CRUCapacity: []int{10}, MaxRRBs: 55},
+		{ID: 1, SP: 1, Pos: geo.Point{X: 100}, CRUCapacity: []int{10}, MaxRRBs: 55},
+	}
+	ues := []mec.UE{{ID: 0, SP: 0, Pos: geo.Point{}, Service: 0, CRUDemand: 4, RateBps: 2e6}}
+	rc := radio.DefaultConfig()
+	rc.InterferenceMarginDB = 20
+	pr := mec.Pricing{BasePrice: 1, CrossSPFactor: 2, DistanceSigma: 0.004, Law: mec.DistanceLinear}
+	net, err := mec.NewNetwork(sps, bss, ues, 1, rc, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var s Solver
+	sol, err := s.Solve(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Assignment.ServingBS[0] != 0 {
+		t.Errorf("optimum picked BS %d, want same-SP BS 0", sol.Assignment.ServingBS[0])
+	}
+	l, _ := net.Link(0, 0)
+	if want := alloc.Margin(net, l); math.Abs(sol.Profit-want) > 1e-9 {
+		t.Errorf("optimal profit %v, want %v", sol.Profit, want)
+	}
+}
+
+func TestSolveMatchesBruteForceProfit(t *testing.T) {
+	// Verify against the mec profit accounting: re-scoring the returned
+	// assignment must equal the reported optimum.
+	for seed := uint64(1); seed <= 5; seed++ {
+		net := smallNet(t, 8, seed)
+		var s Solver
+		sol, err := s.Solve(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mec.ValidateAssignment(net, sol.Assignment); err != nil {
+			t.Fatalf("seed %d: optimum infeasible: %v", seed, err)
+		}
+		rescored := mec.Profit(net, sol.Assignment).TotalProfit()
+		if math.Abs(rescored-sol.Profit) > 1e-6 {
+			t.Errorf("seed %d: reported %v, rescored %v", seed, sol.Profit, rescored)
+		}
+	}
+}
+
+func TestHeuristicsNeverBeatOptimum(t *testing.T) {
+	allocators := []alloc.Allocator{
+		alloc.NewDMRA(alloc.DefaultDMRAConfig()),
+		alloc.NewDCSP(),
+		alloc.NewNonCo(),
+		alloc.NewRandom(5),
+		alloc.NewGreedy(),
+		alloc.NewStableMatch(),
+		alloc.NewLocalSearch(),
+		alloc.NewAuction(),
+	}
+	for seed := uint64(1); seed <= 6; seed++ {
+		net := smallNet(t, 10, seed)
+		var s Solver
+		sol, err := s.Solve(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range allocators {
+			res, err := a.Allocate(net)
+			if err != nil {
+				t.Fatalf("%s: %v", a.Name(), err)
+			}
+			p := mec.Profit(net, res.Assignment).TotalProfit()
+			if p > sol.Profit+1e-6 {
+				t.Errorf("seed %d: %s profit %v exceeds optimum %v", seed, a.Name(), p, sol.Profit)
+			}
+		}
+	}
+}
+
+func TestOptimumWithinUpperBound(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		net := smallNet(t, 8, seed)
+		var s Solver
+		sol, err := s.Solve(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ub := UpperBound(net); sol.Profit > ub+1e-9 {
+			t.Errorf("seed %d: optimum %v exceeds relaxed bound %v", seed, sol.Profit, ub)
+		}
+	}
+}
+
+func TestSolveRespectsNodeLimit(t *testing.T) {
+	net := smallNet(t, 14, 3)
+	s := Solver{NodeLimit: 10}
+	_, err := s.Solve(net)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSolveMonotoneInCapacity(t *testing.T) {
+	// Adding CRU capacity can never lower the optimum (DESIGN.md
+	// invariant 10).
+	cfg := workload.Default()
+	cfg.SPs = 2
+	cfg.BSsPerSP = 2
+	cfg.Services = 2
+	cfg.ServicesPerBS = 2
+	cfg.UEs = 8
+	cfg.AreaWidthM, cfg.AreaHeightM = 600, 600
+	cfg.CRUCapMin, cfg.CRUCapMax = 5, 6
+	netTight, err := cfg.Build(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CRUCapMin, cfg.CRUCapMax = 50, 60
+	netLoose, err := cfg.Build(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Solver
+	tight, err := s.Solve(netTight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := s.Solve(netLoose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Profit < tight.Profit-1e-9 {
+		t.Errorf("more capacity lowered optimum: %v -> %v", tight.Profit, loose.Profit)
+	}
+}
+
+func TestQuickOptimumDominatesGreedy(t *testing.T) {
+	f := func(seed uint64) bool {
+		netSize := int(seed%5) + 4 // 4..8 UEs
+		cfg := workload.Default()
+		cfg.SPs = 2
+		cfg.BSsPerSP = 2
+		cfg.Services = 2
+		cfg.ServicesPerBS = 2
+		cfg.UEs = netSize
+		cfg.AreaWidthM, cfg.AreaHeightM = 600, 600
+		cfg.CRUCapMin, cfg.CRUCapMax = 6, 10
+		net, err := cfg.Build(seed)
+		if err != nil {
+			return false
+		}
+		var s Solver
+		sol, err := s.Solve(net)
+		if err != nil {
+			return false
+		}
+		res, err := alloc.NewGreedy().Allocate(net)
+		if err != nil {
+			return false
+		}
+		return mec.Profit(net, res.Assignment).TotalProfit() <= sol.Profit+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,40 @@
+package protocol
+
+import (
+	"testing"
+
+	"dmra/internal/workload"
+)
+
+func BenchmarkProtocolRun(b *testing.B) {
+	cfg := workload.Default()
+	cfg.UEs = 600
+	net, err := cfg.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocolRunLossy(b *testing.B) {
+	cfg := workload.Default()
+	cfg.UEs = 600
+	net, err := cfg.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := DefaultConfig()
+	pc.DropRate = 0.2
+	pc.LossSeed = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(net, pc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,448 @@
+// Package protocol executes DMRA (Alg. 1) as an actual decentralized
+// message exchange between UE and BS agents on the discrete-event engine
+// of internal/sim.
+//
+// Where alloc.DMRA resolves each iteration against a shared in-memory
+// ledger, this package gives every base station its own private resource
+// ledger and every UE its own local view of remaining resources, learned
+// exclusively from the ResourceBroadcast messages the paper's Alg. 1
+// line 26 prescribes. UEs decide from (possibly one-round-stale) local
+// state, exactly as real handsets would. Because both implementations
+// route every decision through the shared alloc.DMRAConfig preference and
+// selection functions, the final matching is bit-identical to the
+// synchronous solver's — an equivalence the tests assert — while this
+// runtime additionally reports message and round costs.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+	"dmra/internal/rng"
+	"dmra/internal/sim"
+)
+
+// Config parameterizes a protocol run.
+type Config struct {
+	// DMRA is the algorithm configuration shared with alloc.DMRA.
+	DMRA alloc.DMRAConfig
+	// LatencyS is the one-way message latency in seconds (default 1 ms).
+	LatencyS float64
+	// MaxRounds bounds the protocol (default: one round per UE + 1, the
+	// same progress bound the synchronous solver enjoys; lossy runs get
+	// a proportionally larger default).
+	MaxRounds int
+	// DropRate is the independent loss probability of each point-to-point
+	// message and of each broadcast reception. 0 (default) is the
+	// loss-free protocol, whose outcome is bit-identical to alloc.DMRA.
+	// With loss, UEs retry silently-dropped requests, BSs re-send accepts
+	// to already-admitted requesters, and resource rejects prune the
+	// sender's candidate list; the matching stays feasible but may differ
+	// from the loss-free one and may leak reservations (see
+	// Result.LeakedReservations).
+	DropRate float64
+	// LossSeed drives the loss process deterministically.
+	LossSeed uint64
+	// Trace, if non-nil, receives every protocol event as it happens.
+	Trace func(TraceEvent)
+}
+
+// DefaultConfig returns a 1 ms-latency protocol with the default DMRA
+// parameters.
+func DefaultConfig() Config {
+	return Config{DMRA: alloc.DefaultDMRAConfig(), LatencyS: 1e-3}
+}
+
+// TraceEvent describes one observable protocol action.
+type TraceEvent struct {
+	// TimeS is the simulation time in seconds.
+	TimeS float64
+	// Kind is one of "round", "request", "accept", "reject", "broadcast",
+	// "cloud".
+	Kind string
+	// Round is the 1-based protocol round.
+	Round int
+	// UE and BS identify the parties (-1 when not applicable).
+	UE mec.UEID
+	BS mec.BSID
+}
+
+// Result is the outcome of a protocol run.
+type Result struct {
+	Assignment mec.Assignment
+	// Rounds is the number of propose/select rounds executed.
+	Rounds int
+	// Messages is the total count of point-to-point messages plus one per
+	// broadcast emission.
+	Messages int
+	// Requests, Accepts, Rejects and Broadcasts break Messages down.
+	Requests   int
+	Accepts    int
+	Rejects    int
+	Broadcasts int
+	// Dropped counts messages lost to the configured DropRate.
+	Dropped int
+	// LeakedReservations counts BS-side reservations whose accept never
+	// reached the UE before it gave up on that BS — resources held for a
+	// UE that ended up served elsewhere (or on the cloud). Always 0 in
+	// loss-free runs.
+	LeakedReservations int
+	// SimTimeS is the virtual completion time in seconds.
+	SimTimeS float64
+}
+
+// ErrDidNotQuiesce is returned when the protocol exceeds MaxRounds, which
+// indicates an implementation bug (Alg. 1 admits at least one UE per round
+// with pending requests).
+var ErrDidNotQuiesce = errors.New("protocol: exceeded round bound without quiescing")
+
+// bsView is a UE's broadcast-derived knowledge of one candidate BS.
+type bsView struct {
+	remCRU []int
+	remRRB int
+}
+
+// ueAgent is a user-equipment actor.
+type ueAgent struct {
+	id mec.UEID
+	// cands are indices into net.Candidates(id) still under consideration.
+	cands []int
+	// views[k] mirrors cands[k]'s BS resources as last broadcast.
+	views map[mec.BSID]*bsView
+	// servedBy is CloudBS until an Accept arrives.
+	servedBy mec.BSID
+	assigned bool
+}
+
+// dropBS removes a BS from the agent's candidate set (on a permanent
+// resource reject).
+func (a *ueAgent) dropBS(net *mec.Network, bs mec.BSID) {
+	all := net.Candidates(a.id)
+	for pos, k := range a.cands {
+		if all[k].BS == bs {
+			a.cands = append(a.cands[:pos], a.cands[pos+1:]...)
+			return
+		}
+	}
+}
+
+// bsAgent is a base-station actor with a private resource ledger.
+type bsAgent struct {
+	id     mec.BSID
+	remCRU []int
+	remRRB int
+	inbox  []alloc.Request
+	// admitted records reservations so accepts can be re-sent
+	// idempotently when the original accept was lost.
+	admitted map[mec.UEID]mec.Link
+	// coveredUEs are the UEs that can hear this BS's broadcasts.
+	coveredUEs []mec.UEID
+}
+
+// Run executes the decentralized protocol to quiescence.
+func Run(net *mec.Network, cfg Config) (Result, error) {
+	if cfg.LatencyS <= 0 {
+		cfg.LatencyS = 1e-3
+	}
+	if cfg.DropRate < 0 || cfg.DropRate >= 1 {
+		return Result{}, fmt.Errorf("protocol: drop rate %g outside [0, 1)", cfg.DropRate)
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = len(net.UEs) + 1
+		if cfg.DropRate > 0 {
+			// Retries consume rounds; give lossy runs generous headroom.
+			cfg.MaxRounds *= 10
+		}
+	}
+	r := &runner{net: net, cfg: cfg}
+	if cfg.DropRate > 0 {
+		r.loss = rng.New(cfg.LossSeed).SplitLabeled("protocol-loss")
+	}
+	r.setup()
+	return r.run()
+}
+
+type runner struct {
+	net    *mec.Network
+	cfg    Config
+	engine sim.Engine
+	ues    []*ueAgent
+	bss    []*bsAgent
+	loss   *rng.Source
+	res    Result
+
+	// requestsThisRound implements the termination converge-cast: in a
+	// deployment this would be a timeout at the SP layer; in simulation the
+	// controller counts the round's requests directly.
+	requestsThisRound int
+}
+
+// lost samples the loss process for one message or broadcast reception.
+func (r *runner) lost() bool {
+	if r.loss == nil {
+		return false
+	}
+	if r.loss.Float64() >= r.cfg.DropRate {
+		return false
+	}
+	r.res.Dropped++
+	return true
+}
+
+func (r *runner) setup() {
+	r.ues = make([]*ueAgent, len(r.net.UEs))
+	for u := range r.net.UEs {
+		uid := mec.UEID(u)
+		cands := r.net.Candidates(uid)
+		agent := &ueAgent{
+			id:       uid,
+			cands:    make([]int, len(cands)),
+			views:    make(map[mec.BSID]*bsView, len(cands)),
+			servedBy: mec.CloudBS,
+		}
+		for k, l := range cands {
+			agent.cands[k] = k
+			// Initial views come from the deployment-time capacity
+			// announcement (Alg. 1 assumes B_u and capacities known).
+			bs := &r.net.BSs[l.BS]
+			v := &bsView{remCRU: make([]int, len(bs.CRUCapacity)), remRRB: bs.MaxRRBs}
+			copy(v.remCRU, bs.CRUCapacity)
+			agent.views[l.BS] = v
+		}
+		r.ues[u] = agent
+	}
+	r.bss = make([]*bsAgent, len(r.net.BSs))
+	for b := range r.net.BSs {
+		bs := &r.net.BSs[b]
+		agent := &bsAgent{
+			id:       mec.BSID(b),
+			remCRU:   make([]int, len(bs.CRUCapacity)),
+			remRRB:   bs.MaxRRBs,
+			admitted: make(map[mec.UEID]mec.Link),
+		}
+		copy(agent.remCRU, bs.CRUCapacity)
+		r.bss[b] = agent
+	}
+	for u := range r.net.UEs {
+		for _, l := range r.net.Candidates(mec.UEID(u)) {
+			r.bss[l.BS].coveredUEs = append(r.bss[l.BS].coveredUEs, mec.UEID(u))
+		}
+	}
+}
+
+func (r *runner) run() (Result, error) {
+	var protocolErr error
+	r.engine.Schedule(0, func() { r.startRound(1, &protocolErr) })
+	r.engine.Run()
+	if protocolErr != nil {
+		return Result{}, protocolErr
+	}
+
+	r.res.Assignment = mec.NewAssignment(len(r.net.UEs))
+	for u, agent := range r.ues {
+		r.res.Assignment.ServingBS[u] = agent.servedBy
+	}
+	if err := mec.ValidateAssignment(r.net, r.res.Assignment); err != nil {
+		return Result{}, fmt.Errorf("protocol: produced invalid assignment: %w", err)
+	}
+	// Reservations whose accept never took effect at the UE are leaked
+	// capacity — a consequence of message loss a deployment would reclaim
+	// with reservation timeouts.
+	for _, bs := range r.bss {
+		for u := range bs.admitted {
+			if r.ues[u].servedBy != bs.id {
+				r.res.LeakedReservations++
+			}
+		}
+	}
+	r.res.SimTimeS = r.engine.Now()
+	return r.res, nil
+}
+
+func (r *runner) trace(kind string, round int, ue mec.UEID, bs mec.BSID) {
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(TraceEvent{TimeS: r.engine.Now(), Kind: kind, Round: round, UE: ue, BS: bs})
+	}
+}
+
+// startRound runs the UE propose phase and schedules the BS select phase.
+func (r *runner) startRound(round int, protocolErr *error) {
+	if round > r.cfg.MaxRounds {
+		*protocolErr = fmt.Errorf("%w: round %d", ErrDidNotQuiesce, round)
+		return
+	}
+	r.res.Rounds = round
+	r.requestsThisRound = 0
+	r.trace("round", round, -1, -1)
+	L := r.cfg.LatencyS
+
+	for _, agent := range r.ues {
+		if agent.assigned {
+			continue
+		}
+		req, ok := r.propose(agent)
+		if !ok {
+			continue
+		}
+		r.requestsThisRound++
+		r.res.Requests++
+		r.res.Messages++
+		r.trace("request", round, req.Link.UE, req.Link.BS)
+		if r.lost() {
+			continue // the UE retries next round
+		}
+		target := r.bss[req.Link.BS]
+		r.engine.Schedule(L, func() { target.inbox = append(target.inbox, req) })
+	}
+
+	// BSs process their inboxes after every request has arrived.
+	r.engine.Schedule(1.5*L, func() { r.selectPhase(round) })
+	// The controller decides after the full round trip whether to go on.
+	r.engine.Schedule(3*L, func() {
+		if r.requestsThisRound == 0 {
+			return // quiesced: no events pending, engine drains
+		}
+		r.startRound(round+1, protocolErr)
+	})
+}
+
+// propose picks the UE's best candidate from its local view, dropping
+// candidates its view says are exhausted (Alg. 1 lines 4-10).
+func (r *runner) propose(agent *ueAgent) (alloc.Request, bool) {
+	all := r.net.Candidates(agent.id)
+	for len(agent.cands) > 0 {
+		bestPos, bestV := -1, 0.0
+		var bestLink mec.Link
+		for pos, k := range agent.cands {
+			l := all[k]
+			v := r.cfg.DMRA.Preference(l, agent.views[l.BS].remCRU[r.net.UEs[l.UE].Service], agent.views[l.BS].remRRB)
+			if bestPos < 0 || v < bestV {
+				bestPos, bestV, bestLink = pos, v, l
+			}
+		}
+		view := agent.views[bestLink.BS]
+		ue := &r.net.UEs[agent.id]
+		if view.remCRU[ue.Service] >= ue.CRUDemand && view.remRRB >= bestLink.RRBs {
+			return alloc.Request{Link: bestLink, Fu: r.net.CoverCount(agent.id)}, true
+		}
+		// The view says this BS can no longer take us; resources never
+		// grow back, so drop it permanently.
+		agent.cands = append(agent.cands[:bestPos], agent.cands[bestPos+1:]...)
+	}
+	r.trace("cloud", r.res.Rounds, agent.id, mec.CloudBS)
+	return alloc.Request{}, false
+}
+
+// selectPhase runs every BS's Alg. 1 lines 11-26 on its private ledger and
+// sends accept/reject plus a resource broadcast.
+func (r *runner) selectPhase(round int) {
+	for _, bs := range r.bss {
+		if len(bs.inbox) == 0 {
+			continue
+		}
+		reqs := bs.inbox
+		bs.inbox = nil
+
+		// Requests from UEs this BS already admitted mean the original
+		// accept was lost: re-send it idempotently without touching the
+		// ledger.
+		fresh := reqs[:0]
+		for _, req := range reqs {
+			if _, dup := bs.admitted[req.Link.UE]; dup {
+				r.sendAccept(round, bs, req.Link.UE)
+				continue
+			}
+			fresh = append(fresh, req)
+		}
+		if len(fresh) == 0 {
+			r.broadcast(round, bs)
+			continue
+		}
+
+		selected := r.cfg.DMRA.SelectPerService(r.net, fresh)
+		total := 0
+		for _, req := range selected {
+			total += req.Link.RRBs
+		}
+		if total > bs.remRRB {
+			r.cfg.DMRA.SortByBSPreference(r.net, selected)
+		}
+		for _, req := range selected {
+			ue := &r.net.UEs[req.Link.UE]
+			if bs.remCRU[ue.Service] >= ue.CRUDemand && bs.remRRB >= req.Link.RRBs {
+				bs.remCRU[ue.Service] -= ue.CRUDemand
+				bs.remRRB -= req.Link.RRBs
+				bs.admitted[req.Link.UE] = req.Link
+				r.sendAccept(round, bs, req.Link.UE)
+			} else {
+				// Resources never grow back: this is a permanent
+				// resource reject, the receiver prunes the BS.
+				r.sendReject(round, bs, req.Link.UE)
+			}
+		}
+
+		r.broadcast(round, bs)
+	}
+}
+
+// sendAccept delivers an admission notice to the UE, subject to loss.
+func (r *runner) sendAccept(round int, bs *bsAgent, u mec.UEID) {
+	r.res.Accepts++
+	r.res.Messages++
+	r.trace("accept", round, u, bs.id)
+	if r.lost() {
+		return
+	}
+	agent := r.ues[u]
+	bsID := bs.id
+	r.engine.Schedule(r.cfg.LatencyS, func() {
+		agent.assigned = true
+		agent.servedBy = bsID
+	})
+}
+
+// sendReject delivers a permanent resource reject; the UE prunes the BS
+// from its candidate set on receipt.
+func (r *runner) sendReject(round int, bs *bsAgent, u mec.UEID) {
+	r.res.Rejects++
+	r.res.Messages++
+	r.trace("reject", round, u, bs.id)
+	if r.lost() {
+		return
+	}
+	agent := r.ues[u]
+	bsID := bs.id
+	r.engine.Schedule(r.cfg.LatencyS, func() {
+		agent.dropBS(r.net, bsID)
+	})
+}
+
+// broadcast emits the BS's remaining resources to every covered UE
+// (Alg. 1 line 26). One emission; each reception is individually subject
+// to loss.
+func (r *runner) broadcast(round int, bs *bsAgent) {
+	r.res.Broadcasts++
+	r.res.Messages++
+	r.trace("broadcast", round, -1, bs.id)
+	remCRU := make([]int, len(bs.remCRU))
+	copy(remCRU, bs.remCRU)
+	remRRB := bs.remRRB
+	bsID := bs.id
+	var receivers []mec.UEID
+	for _, u := range bs.coveredUEs {
+		if r.lost() {
+			continue
+		}
+		receivers = append(receivers, u)
+	}
+	r.engine.Schedule(r.cfg.LatencyS, func() {
+		for _, u := range receivers {
+			if v, ok := r.ues[u].views[bsID]; ok {
+				copy(v.remCRU, remCRU)
+				v.remRRB = remRRB
+			}
+		}
+	})
+}

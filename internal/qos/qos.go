@@ -1,0 +1,159 @@
+// Package qos estimates per-task service latency for an assignment — the
+// quantity the paper's introduction motivates ("applications with low
+// latency tolerance", cloud forwarding "increases the transmission delay")
+// but its evaluation never quantifies. The model is deliberately simple
+// and fully documented so its numbers are interpretable:
+//
+//	edge task:  t = uplink + edgeRTT + c_j^u / edgeRate
+//	cloud task: t = uplink + edgeRTT + cloudRTT + c_j^u / cloudRate
+//
+// where uplink is the task payload divided by the UE's granted data rate
+// w_u, edgeRTT covers radio access and MEC-server turnaround, cloudRTT is
+// the extra WAN round trip, and the processing terms convert the task's
+// CRU demand through each tier's processing rate. Payload size is tied to
+// the task's CRU demand (BitsPerCRU), keeping the model deterministic.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmra/internal/mec"
+)
+
+// Config parameterizes the latency model. Zero value is invalid; start
+// from DefaultConfig.
+type Config struct {
+	// BitsPerCRU converts a task's CRU demand into an uplink payload.
+	BitsPerCRU float64 `json:"bitsPerCRU"`
+	// EdgeRTTS is the radio-access plus MEC turnaround time in seconds.
+	EdgeRTTS float64 `json:"edgeRTTS"`
+	// CloudExtraRTTS is the additional WAN round trip for cloud tasks.
+	CloudExtraRTTS float64 `json:"cloudExtraRTTS"`
+	// EdgeCRUPerS and CloudCRUPerS are the tiers' processing rates.
+	EdgeCRUPerS  float64 `json:"edgeCRUPerS"`
+	CloudCRUPerS float64 `json:"cloudCRUPerS"`
+}
+
+// DefaultConfig returns a latency model with a ~2 Mbit payload per task,
+// 10 ms edge turnaround, 120 ms WAN round trip, and a cloud that
+// processes 10x faster than an MEC server — so the cloud loses on
+// transport, not on compute, exactly the paper's trade-off.
+func DefaultConfig() Config {
+	return Config{
+		BitsPerCRU:     5e5,
+		EdgeRTTS:       0.010,
+		CloudExtraRTTS: 0.120,
+		EdgeCRUPerS:    50,
+		CloudCRUPerS:   500,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.BitsPerCRU <= 0:
+		return fmt.Errorf("qos: bits per CRU %g, want positive", c.BitsPerCRU)
+	case c.EdgeRTTS < 0:
+		return fmt.Errorf("qos: edge RTT %g, want non-negative", c.EdgeRTTS)
+	case c.CloudExtraRTTS < 0:
+		return fmt.Errorf("qos: cloud RTT %g, want non-negative", c.CloudExtraRTTS)
+	case c.EdgeCRUPerS <= 0:
+		return fmt.Errorf("qos: edge rate %g, want positive", c.EdgeCRUPerS)
+	case c.CloudCRUPerS <= 0:
+		return fmt.Errorf("qos: cloud rate %g, want positive", c.CloudCRUPerS)
+	}
+	return nil
+}
+
+// TaskLatency returns the modelled completion time of one UE's task under
+// the given placement.
+func (c Config) TaskLatency(ue *mec.UE, cloud bool) float64 {
+	uplink := c.BitsPerCRU * float64(ue.CRUDemand) / ue.RateBps
+	t := uplink + c.EdgeRTTS
+	if cloud {
+		return t + c.CloudExtraRTTS + float64(ue.CRUDemand)/c.CloudCRUPerS
+	}
+	return t + float64(ue.CRUDemand)/c.EdgeCRUPerS
+}
+
+// Report summarizes the latency distribution of one assignment.
+type Report struct {
+	// MeanS, P50S, P95S and MaxS describe the distribution over all UEs.
+	MeanS float64
+	P50S  float64
+	P95S  float64
+	MaxS  float64
+	// EdgeMeanS and CloudMeanS split the mean by placement tier.
+	EdgeMeanS  float64
+	CloudMeanS float64
+	// Tasks, EdgeTasks and CloudTasks count the population.
+	Tasks      int
+	EdgeTasks  int
+	CloudTasks int
+}
+
+// Evaluate computes the latency report of an assignment.
+func Evaluate(net *mec.Network, a mec.Assignment, cfg Config) (Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return Report{}, err
+	}
+	if len(a.ServingBS) != len(net.UEs) {
+		return Report{}, fmt.Errorf("qos: assignment covers %d UEs, scenario has %d", len(a.ServingBS), len(net.UEs))
+	}
+	var (
+		all        []float64
+		edgeSum    float64
+		cloudSum   float64
+		edgeCount  int
+		cloudCount int
+	)
+	for u := range net.UEs {
+		cloud := a.ServingBS[u] == mec.CloudBS
+		t := cfg.TaskLatency(&net.UEs[u], cloud)
+		all = append(all, t)
+		if cloud {
+			cloudSum += t
+			cloudCount++
+		} else {
+			edgeSum += t
+			edgeCount++
+		}
+	}
+	rep := Report{Tasks: len(all), EdgeTasks: edgeCount, CloudTasks: cloudCount}
+	if len(all) == 0 {
+		return rep, nil
+	}
+	sort.Float64s(all)
+	total := 0.0
+	for _, t := range all {
+		total += t
+	}
+	rep.MeanS = total / float64(len(all))
+	rep.P50S = percentile(all, 0.50)
+	rep.P95S = percentile(all, 0.95)
+	rep.MaxS = all[len(all)-1]
+	if edgeCount > 0 {
+		rep.EdgeMeanS = edgeSum / float64(edgeCount)
+	}
+	if cloudCount > 0 {
+		rep.CloudMeanS = cloudSum / float64(cloudCount)
+	}
+	return rep, nil
+}
+
+// percentile returns the p-quantile of sorted data by nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

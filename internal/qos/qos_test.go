@@ -1,0 +1,163 @@
+package qos
+
+import (
+	"math"
+	"testing"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+	"dmra/internal/workload"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.BitsPerCRU = 0 },
+		func(c *Config) { c.EdgeRTTS = -1 },
+		func(c *Config) { c.CloudExtraRTTS = -1 },
+		func(c *Config) { c.EdgeCRUPerS = 0 },
+		func(c *Config) { c.CloudCRUPerS = 0 },
+	}
+	for i, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestTaskLatencyComponents(t *testing.T) {
+	cfg := DefaultConfig()
+	ue := mec.UE{CRUDemand: 4, RateBps: 4e6}
+	edge := cfg.TaskLatency(&ue, false)
+	cloud := cfg.TaskLatency(&ue, true)
+
+	uplink := cfg.BitsPerCRU * 4 / 4e6 // 0.5 s
+	wantEdge := uplink + cfg.EdgeRTTS + 4/cfg.EdgeCRUPerS
+	wantCloud := uplink + cfg.EdgeRTTS + cfg.CloudExtraRTTS + 4/cfg.CloudCRUPerS
+	if math.Abs(edge-wantEdge) > 1e-12 {
+		t.Errorf("edge latency %v, want %v", edge, wantEdge)
+	}
+	if math.Abs(cloud-wantCloud) > 1e-12 {
+		t.Errorf("cloud latency %v, want %v", cloud, wantCloud)
+	}
+	if cloud <= edge {
+		t.Error("cloud must be slower than edge under the defaults")
+	}
+}
+
+func TestEvaluateReport(t *testing.T) {
+	cfg := workload.Default()
+	cfg.UEs = 600
+	net, err := cfg.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.NewDMRA(alloc.DefaultDMRAConfig()).Allocate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(net, res.Assignment, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 600 || rep.EdgeTasks+rep.CloudTasks != 600 {
+		t.Fatalf("population accounting wrong: %+v", rep)
+	}
+	if rep.MeanS <= 0 || rep.P50S <= 0 {
+		t.Fatalf("degenerate latencies: %+v", rep)
+	}
+	if rep.P50S > rep.P95S || rep.P95S > rep.MaxS {
+		t.Fatalf("quantiles out of order: %+v", rep)
+	}
+	// Per task, cloud placement is always slower than edge placement
+	// (group means can still cross through composition effects, so compare
+	// per-UE).
+	qc := DefaultConfig()
+	for u := range net.UEs {
+		if qc.TaskLatency(&net.UEs[u], true) <= qc.TaskLatency(&net.UEs[u], false) {
+			t.Fatalf("UE %d: cloud not slower than edge", u)
+		}
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	cfg := workload.Default()
+	cfg.UEs = 0
+	net, err := cfg.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(net, mec.NewAssignment(0), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 0 || rep.MeanS != 0 {
+		t.Fatalf("empty report = %+v", rep)
+	}
+}
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	cfg := workload.Default()
+	cfg.UEs = 5
+	net, err := cfg.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(net, mec.NewAssignment(3), DefaultConfig()); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestMoreEdgeServingLowersMeanLatency(t *testing.T) {
+	// DMRA serves more UEs at the edge than an all-cloud assignment, so
+	// its mean latency must be lower.
+	cfg := workload.Default()
+	cfg.UEs = 500
+	net, err := cfg.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := alloc.NewDMRA(alloc.DefaultDMRAConfig()).Allocate(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmraRep, err := Evaluate(net, res.Assignment, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloudRep, err := Evaluate(net, mec.NewAssignment(500), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmraRep.MeanS >= cloudRep.MeanS {
+		t.Errorf("DMRA mean %v not below all-cloud %v", dmraRep.MeanS, cloudRep.MeanS)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.5, 5},
+		{0.95, 10},
+		{0.1, 1},
+		{1.0, 10},
+	}
+	for _, tt := range tests {
+		if got := percentile(data, tt.p); got != tt.want {
+			t.Errorf("percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(nil) = %v", got)
+	}
+}

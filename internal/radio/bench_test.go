@@ -1,0 +1,26 @@
+package radio
+
+import "testing"
+
+func BenchmarkSINR(b *testing.B) {
+	c := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_ = c.SINR(float64(50 + i%400))
+	}
+}
+
+func BenchmarkRRBsNeeded(b *testing.B) {
+	c := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_, _ = c.RRBsNeeded(float64(50+i%400), 4e6)
+	}
+}
+
+func BenchmarkShadowDB(b *testing.B) {
+	c := DefaultConfig()
+	c.ShadowingStdDB = 8
+	c.ShadowingSeed = 1
+	for i := 0; i < b.N; i++ {
+		_ = c.ShadowDB(i%1000, i%25)
+	}
+}

@@ -1,0 +1,348 @@
+package radio
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero RRB bandwidth", func(c *Config) { c.RRBBandwidthHz = 0 }},
+		{"uplink below one RRB", func(c *Config) { c.UplinkBandwidthHz = 100 }},
+		{"zero coverage radius", func(c *Config) { c.CoverageRadiusM = 0 }},
+		{"zero min distance", func(c *Config) { c.MinDistanceM = 0 }},
+		{"negative interference", func(c *Config) { c.InterferenceMarginDB = -3 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.mutate(&c)
+			if c.Validate() == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestMaxRRBs(t *testing.T) {
+	// 10 MHz / 180 kHz = 55.55... -> 55 RRBs.
+	if got := DefaultConfig().MaxRRBs(); got != 55 {
+		t.Fatalf("MaxRRBs = %d, want 55", got)
+	}
+}
+
+func TestPathLossKnownValues(t *testing.T) {
+	c := DefaultConfig()
+	tests := []struct {
+		distM float64
+		want  float64
+	}{
+		{1000, 140.7},                       // 1 km: PL = 140.7
+		{100, 140.7 - 36.7},                 // 0.1 km: one decade below
+		{300, 140.7 + 36.7*math.Log10(0.3)}, // grid inter-site distance
+		{10000, 140.7 + 36.7},               // 10 km: one decade above
+	}
+	for _, tt := range tests {
+		if got := c.PathLossDB(tt.distM); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("PathLossDB(%g) = %v, want %v", tt.distM, got, tt.want)
+		}
+	}
+}
+
+func TestPathLossClampsSmallDistances(t *testing.T) {
+	c := DefaultConfig()
+	if got, want := c.PathLossDB(0), c.PathLossDB(c.MinDistanceM); got != want {
+		t.Fatalf("PathLossDB(0) = %v, want clamp to %v", got, want)
+	}
+	if math.IsInf(c.PathLossDB(0), 0) || math.IsNaN(c.PathLossDB(0)) {
+		t.Fatal("PathLossDB(0) not finite")
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	c := DefaultConfig()
+	f := func(d1Raw, d2Raw uint16) bool {
+		d1 := 1 + float64(d1Raw)
+		d2 := 1 + float64(d2Raw)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return c.PathLossDB(d1) <= c.PathLossDB(d2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSINRDecreasesWithDistance(t *testing.T) {
+	c := DefaultConfig()
+	prev := math.Inf(1)
+	for _, d := range []float64{10, 50, 100, 200, 300, 450, 600, 1000} {
+		s := c.SINR(d)
+		if s >= prev {
+			t.Fatalf("SINR not strictly decreasing at %g m: %v >= %v", d, s, prev)
+		}
+		if s <= 0 {
+			t.Fatalf("SINR(%g) = %v, want positive", d, s)
+		}
+		prev = s
+	}
+}
+
+func TestSINRExpectedMagnitude(t *testing.T) {
+	// Literal §VI-A noise: at 100 m, RX = 10 - 104 = -94 dBm against a
+	// -170 dBm in-band floor gives 76 dB SINR.
+	c := DefaultConfig()
+	if got := c.SINRdB(100); math.Abs(got-76) > 0.1 {
+		t.Fatalf("SINRdB(100) = %v, want ~76", got)
+	}
+}
+
+func TestNoisePerHzOption(t *testing.T) {
+	// The PSD reading integrates the density over one RRB:
+	// -170 + 10*log10(180e3) = -117.45 dBm, i.e. 52.55 dB less SINR.
+	c := DefaultConfig()
+	c.NoisePerHz = true
+	if got := c.NoiseFloorDBm(); math.Abs(got-(-117.45)) > 0.01 {
+		t.Fatalf("per-Hz noise floor = %v, want ~-117.45", got)
+	}
+	if got := c.SINRdB(100); math.Abs(got-23.45) > 0.1 {
+		t.Fatalf("per-Hz SINRdB(100) = %v, want ~23.45", got)
+	}
+}
+
+func TestInterferenceMarginDegradesSINR(t *testing.T) {
+	base := DefaultConfig()
+	withMargin := base
+	withMargin.InterferenceMarginDB = 6
+	d := 200.0
+	if got, want := withMargin.SINRdB(d), base.SINRdB(d)-6; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SINRdB with 6 dB margin = %v, want %v", got, want)
+	}
+}
+
+func TestRatePerRRBMagnitude(t *testing.T) {
+	// At 100 m, SINR ~ 76 dB; e = 180 kHz * log2(1+10^7.6) ~ 4.5 Mbps.
+	c := DefaultConfig()
+	got := c.RatePerRRB(100)
+	if got < 4.2e6 || got > 4.9e6 {
+		t.Fatalf("RatePerRRB(100) = %v, want ~4.5 Mbps", got)
+	}
+}
+
+func TestRRBsNeeded(t *testing.T) {
+	c := DefaultConfig()
+	tests := []struct {
+		name    string
+		distM   float64
+		rateBps float64
+		wantMin int
+		wantMax int
+	}{
+		{"close, low rate", 50, 2e6, 1, 1},
+		{"close, high rate", 50, 6e6, 2, 2},
+		{"mid, low rate", 300, 2e6, 1, 1},
+		{"mid, high rate", 300, 6e6, 2, 2},
+		{"edge of coverage", 450, 2e6, 1, 1},
+		{"edge, high rate", 450, 6e6, 2, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			n, err := c.RRBsNeeded(tt.distM, tt.rateBps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n < tt.wantMin || n > tt.wantMax {
+				t.Errorf("RRBsNeeded(%g m, %g bps) = %d, want in [%d,%d]",
+					tt.distM, tt.rateBps, n, tt.wantMin, tt.wantMax)
+			}
+		})
+	}
+}
+
+func TestRRBsNeededZeroRate(t *testing.T) {
+	c := DefaultConfig()
+	n, err := c.RRBsNeeded(100, 0)
+	if err != nil || n != 0 {
+		t.Fatalf("RRBsNeeded(100, 0) = %d, %v; want 0, nil", n, err)
+	}
+}
+
+func TestRRBsNeededExactCeil(t *testing.T) {
+	c := DefaultConfig()
+	e := c.RatePerRRB(200)
+	// Exactly 3 RRBs' worth of rate must need 3 RRBs, a hair more needs 4.
+	if n, _ := c.RRBsNeeded(200, 3*e); n != 3 {
+		t.Errorf("exact multiple: got %d, want 3", n)
+	}
+	if n, _ := c.RRBsNeeded(200, 3*e+1); n != 4 {
+		t.Errorf("just above multiple: got %d, want 4", n)
+	}
+}
+
+func TestRRBsNeededMonotoneInDistance(t *testing.T) {
+	// Paper §III-C: the farther the UE, the more RRBs needed at fixed w_u.
+	c := DefaultConfig()
+	prev := 0
+	for d := 10.0; d <= 450; d += 10 {
+		n, err := c.RRBsNeeded(d, 4e6)
+		if err != nil {
+			t.Fatalf("distance %g: %v", d, err)
+		}
+		if n < prev {
+			t.Fatalf("RRBs needed decreased with distance at %g m: %d < %d", d, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestRRBsNeededUnreachable(t *testing.T) {
+	c := DefaultConfig()
+	// Crush the link budget so that the per-RRB rate underflows to zero.
+	c.TxPowerDBm = -5000
+	_, err := c.RRBsNeeded(450, 2e6)
+	if !errors.Is(err, ErrRateUnreachable) {
+		t.Fatalf("err = %v, want ErrRateUnreachable", err)
+	}
+}
+
+func TestCovers(t *testing.T) {
+	c := DefaultConfig()
+	if !c.Covers(450) {
+		t.Error("450 m should be covered (boundary inclusive)")
+	}
+	if c.Covers(450.1) {
+		t.Error("450.1 m should not be covered")
+	}
+	if !c.Covers(0) {
+		t.Error("0 m should be covered")
+	}
+}
+
+func TestDBmConversionRoundTrip(t *testing.T) {
+	f := func(raw int16) bool {
+		dbm := float64(raw) / 100 // -327..327 dBm
+		back := MilliwattsToDBm(DBmToMilliwatts(dbm))
+		return math.Abs(back-dbm) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBmKnownValues(t *testing.T) {
+	if got := DBmToMilliwatts(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("0 dBm = %v mW, want 1", got)
+	}
+	if got := DBmToMilliwatts(30); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("30 dBm = %v mW, want 1000", got)
+	}
+	if got := MilliwattsToDBm(0); !math.IsInf(got, -1) {
+		t.Errorf("0 mW = %v dBm, want -Inf", got)
+	}
+}
+
+func TestPaperScenarioCapacityRegime(t *testing.T) {
+	// Cross-check of DESIGN.md's noise-interpretation argument: with the
+	// literal -170 dBm floor, every in-coverage UE needs 1-3 of the 55
+	// RRBs, so one BS radio-serves roughly 20-55 UEs and the 25-BS network
+	// saturates near 900-1000 UEs — the regime the paper's Figs. 2-5
+	// (profit still rising at 900 UEs, at a decreasing rate) imply.
+	c := DefaultConfig()
+	for _, d := range []float64{20, 100, 250, 450} {
+		for _, w := range []float64{2e6, 4e6, 6e6} {
+			n, err := c.RRBsNeeded(d, w)
+			if err != nil {
+				t.Fatalf("d=%g w=%g: %v", d, w, err)
+			}
+			if n < 1 || n > 3 {
+				t.Errorf("RRBsNeeded(%g m, %g bps) = %d, want 1-3", d, w, n)
+			}
+		}
+	}
+}
+
+func TestShadowingDisabledByDefault(t *testing.T) {
+	c := DefaultConfig()
+	if got := c.ShadowDB(3, 7); got != 0 {
+		t.Fatalf("ShadowDB = %v with shadowing disabled", got)
+	}
+	if c.SINRWith(100, 0) != c.SINR(100) {
+		t.Fatal("SINRWith(d, 0) != SINR(d)")
+	}
+}
+
+func TestShadowingDeterministicPerLink(t *testing.T) {
+	c := DefaultConfig()
+	c.ShadowingStdDB = 8
+	c.ShadowingSeed = 42
+	a := c.ShadowDB(3, 7)
+	b := c.ShadowDB(3, 7)
+	if a != b {
+		t.Fatal("same link drew different shadowing")
+	}
+	if a == c.ShadowDB(3, 8) && a == c.ShadowDB(4, 7) {
+		t.Fatal("distinct links drew identical shadowing")
+	}
+	c2 := c
+	c2.ShadowingSeed = 43
+	if a == c2.ShadowDB(3, 7) {
+		t.Fatal("different seeds drew identical shadowing")
+	}
+}
+
+func TestShadowingMoments(t *testing.T) {
+	c := DefaultConfig()
+	c.ShadowingStdDB = 8
+	c.ShadowingSeed = 5
+	var sum, sumSq float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		v := c.ShadowDB(i, i%25)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.6 {
+		t.Errorf("shadowing mean = %v, want ~0", mean)
+	}
+	if math.Abs(std-8) > 0.6 {
+		t.Errorf("shadowing std = %v, want ~8", std)
+	}
+}
+
+func TestShadowingAffectsRRBs(t *testing.T) {
+	c := DefaultConfig()
+	c.InterferenceMarginDB = 20
+	base, err := c.RRBsNeededWith(300, 6e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := c.RRBsNeededWith(300, 6e6, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep <= base {
+		t.Errorf("25 dB shadow did not raise RRB demand: %d vs %d", deep, base)
+	}
+}
+
+func TestNegativeShadowingStdRejected(t *testing.T) {
+	c := DefaultConfig()
+	c.ShadowingStdDB = -1
+	if c.Validate() == nil {
+		t.Fatal("negative shadowing std accepted")
+	}
+}

@@ -1,0 +1,31 @@
+package rng
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Intn(1000)
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.NormFloat64()
+	}
+}
+
+func BenchmarkSplitLabeled(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.SplitLabeled("subsystem")
+	}
+}

@@ -1,0 +1,273 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from different seeds", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatalf("zero-value source repeated %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("parent and child streams overlap in %d/1000 draws", same)
+	}
+}
+
+func TestSplitLabeledStable(t *testing.T) {
+	// The labeled stream must not depend on prior consumption of the parent.
+	a := New(9)
+	b := New(9)
+	b.Uint64() // advance b only
+	sa := a.SplitLabeled("radio")
+	sb := b.SplitLabeled("radio")
+	for i := 0; i < 100; i++ {
+		if sa.Uint64() != sb.Uint64() {
+			t.Fatal("labeled split depends on parent draw count")
+		}
+	}
+}
+
+func TestSplitLabeledDistinct(t *testing.T) {
+	s := New(9)
+	a := s.SplitLabeled("alpha")
+	b := s.SplitLabeled("beta")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different labels produced identical first draw")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	s := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestIntBetween(t *testing.T) {
+	s := New(11)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.IntBetween(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("IntBetween(3,5) = %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 3; v <= 5; v++ {
+		if !seen[v] {
+			t.Errorf("IntBetween(3,5) never produced %d", v)
+		}
+	}
+	if got := s.IntBetween(4, 4); got != 4 {
+		t.Errorf("IntBetween(4,4) = %d, want 4", got)
+	}
+}
+
+func TestIntBetweenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IntBetween(5,3) did not panic")
+		}
+	}()
+	New(1).IntBetween(5, 3)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloatBetween(t *testing.T) {
+	s := New(17)
+	for i := 0; i < 1000; i++ {
+		v := s.FloatBetween(2, 6)
+		if v < 2 || v >= 6 {
+			t.Fatalf("FloatBetween(2,6) = %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(19)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(23)
+	var sum, sumSq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(29)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(31)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMul128AgainstBig(t *testing.T) {
+	// Spot-check mul128 against known products.
+	tests := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+		{1 << 32, 1 << 32, 1, 0},
+	}
+	for _, tt := range tests {
+		hi, lo := mul128(tt.a, tt.b)
+		if hi != tt.hi || lo != tt.lo {
+			t.Errorf("mul128(%d,%d) = (%d,%d), want (%d,%d)", tt.a, tt.b, hi, lo, tt.hi, tt.lo)
+		}
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			if v := s.Intn(n); v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeterministicReplay(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < 20; i++ {
+			if a.Float64() != b.Float64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

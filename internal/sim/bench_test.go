@@ -1,0 +1,13 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.Schedule(float64(j%37), func() {})
+		}
+		e.Run()
+	}
+}

@@ -1,0 +1,149 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dmra/internal/metrics"
+)
+
+func linePlot() *Plot {
+	return &Plot{
+		Title:  "demo",
+		XLabel: "x",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{30, 20, 10, 0}},
+		},
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := linePlot().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"demo", "* up", "o down", "(x)", "+--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers not drawn")
+	}
+}
+
+func TestRenderMonotoneShape(t *testing.T) {
+	p := &Plot{
+		Width:  40,
+		Height: 10,
+		Series: []Series{{Name: "up", X: []float64{0, 1}, Y: []float64{0, 100}}},
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	// The first grid row (max y) must contain the marker near the right;
+	// the last grid row (min y) near the left.
+	top := lines[0]
+	var bottom string
+	for _, l := range lines {
+		if strings.Contains(l, "*") {
+			bottom = l
+		}
+	}
+	topCol := strings.IndexByte(top, '*')
+	bottomCol := strings.IndexByte(bottom, '*')
+	if topCol < 0 || bottomCol < 0 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if topCol <= bottomCol {
+		t.Errorf("increasing series renders top marker at col %d <= bottom %d:\n%s", topCol, bottomCol, out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := (&Plot{}).Render(); err == nil {
+		t.Error("empty plot accepted")
+	}
+	p := &Plot{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := p.Render(); err == nil {
+		t.Error("ragged series accepted")
+	}
+	var many []Series
+	for i := 0; i < 7; i++ {
+		many = append(many, Series{Name: "s", X: []float64{0}, Y: []float64{0}})
+	}
+	if _, err := (&Plot{Series: many}).Render(); err == nil {
+		t.Error("7 series accepted (only 6 markers)")
+	}
+	if _, err := (&Plot{Series: []Series{{Name: "empty"}}}).Render(); err == nil {
+		t.Error("all-empty series accepted")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "dot", X: []float64{5}, Y: []float64{5}}}}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("single point not drawn")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	p := &Plot{Series: []Series{{Name: "flat", X: []float64{0, 1, 2}, Y: []float64{7, 7, 7}}}}
+	if _, err := p.Render(); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+}
+
+func TestFromTable(t *testing.T) {
+	tab := &metrics.Table{
+		Title:  "Fig. 2",
+		XLabel: "ues",
+		Series: []string{"DMRA", "DCSP"},
+	}
+	if err := tab.AddRow(400, []metrics.Summary{metrics.Summarize([]float64{10}), metrics.Summarize([]float64{8})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddRow(900, []metrics.Summary{metrics.Summarize([]float64{20}), metrics.Summarize([]float64{15})}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromTable(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 2 || p.Series[0].Name != "DMRA" {
+		t.Fatalf("plot series = %+v", p.Series)
+	}
+	out, err := p.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 2") {
+		t.Error("title lost")
+	}
+}
+
+func TestCompactNumber(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{950, "950"},
+		{12000, "12k"},
+		{12500, "12.5k"},
+		{3e6, "3M"},
+		{-20000, "-20k"},
+	}
+	for _, tt := range tests {
+		if got := compactNumber(tt.in); got != tt.want {
+			t.Errorf("compactNumber(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

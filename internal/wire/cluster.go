@@ -1,0 +1,269 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+)
+
+// ClusterResult reports a socket-level DMRA run.
+type ClusterResult struct {
+	Assignment mec.Assignment
+	// Rounds counts propose/select rounds.
+	Rounds int
+	// Frames counts request/response frames exchanged with BS servers.
+	Frames int
+	// BytesSent and BytesReceived count coordinator-side socket traffic.
+	BytesSent     int64
+	BytesReceived int64
+}
+
+// countingConn tallies bytes moved over a connection. Counters are atomic
+// because the exchange phase drives the per-BS connections concurrently.
+type countingConn struct {
+	net.Conn
+
+	sent, received *atomic.Int64
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.received.Add(int64(n))
+	return n, err
+}
+
+// ueState is the coordinator-hosted thin UE agent: candidate list plus
+// the broadcast-derived view of each candidate BS.
+type ueState struct {
+	cands    []int // indices into net.Candidates(id)
+	views    map[mec.BSID]*view
+	assigned bool
+	servedBy mec.BSID
+}
+
+type view struct {
+	remCRU []int
+	remRRB int
+}
+
+// RunCluster executes DMRA with one TCP server per base station. The
+// matching is identical to alloc.NewDMRA(cfg).Allocate(net); the point is
+// exercising the deployment path: serialization, sockets, per-BS
+// concurrency, and clean shutdown.
+func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) {
+	servers := make([]*BSServer, len(net_.BSs))
+	conns := make([]net.Conn, len(net_.BSs))
+	var res ClusterResult
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, s := range servers {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
+
+	var sent, received atomic.Int64
+	for b := range net_.BSs {
+		s, err := StartBS(mec.BSID(b), net_.BSs[b].CRUCapacity, net_.BSs[b].MaxRRBs, cfg)
+		if err != nil {
+			return ClusterResult{}, err
+		}
+		servers[b] = s
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			return ClusterResult{}, fmt.Errorf("wire: dial BS %d: %w", b, err)
+		}
+		conns[b] = countingConn{Conn: conn, sent: &sent, received: &received}
+	}
+
+	ues := make([]*ueState, len(net_.UEs))
+	for u := range net_.UEs {
+		cands := net_.Candidates(mec.UEID(u))
+		st := &ueState{
+			cands:    make([]int, len(cands)),
+			views:    make(map[mec.BSID]*view, len(cands)),
+			servedBy: mec.CloudBS,
+		}
+		for k, l := range cands {
+			st.cands[k] = k
+			bs := &net_.BSs[l.BS]
+			v := &view{remCRU: make([]int, len(bs.CRUCapacity)), remRRB: bs.MaxRRBs}
+			copy(v.remCRU, bs.CRUCapacity)
+			st.views[l.BS] = v
+		}
+		ues[u] = st
+	}
+	coveredBy := make([][]mec.UEID, len(net_.BSs))
+	for u := range net_.UEs {
+		for _, l := range net_.Candidates(mec.UEID(u)) {
+			coveredBy[l.BS] = append(coveredBy[l.BS], mec.UEID(u))
+		}
+	}
+
+	maxRounds := len(net_.UEs) + 1
+	for round := 1; ; round++ {
+		if round > maxRounds {
+			return ClusterResult{}, fmt.Errorf("wire: exceeded %d rounds without quiescing", maxRounds)
+		}
+		res.Rounds = round
+
+		// Propose phase: identical view-driven logic to internal/protocol.
+		batches := make([][]Request, len(net_.BSs))
+		anyRequest := false
+		for u, st := range ues {
+			if st.assigned {
+				continue
+			}
+			uid := mec.UEID(u)
+			req, bsID, ok := propose(net_, cfg, uid, st)
+			if !ok {
+				continue
+			}
+			batches[bsID] = append(batches[bsID], req)
+			anyRequest = true
+		}
+		if !anyRequest {
+			break
+		}
+
+		// Exchange phase: contact every BS with pending requests
+		// concurrently; responses are applied in BS order afterwards so
+		// the outcome does not depend on goroutine scheduling.
+		responses := make([]*RoundResponse, len(net_.BSs))
+		errs := make([]error, len(net_.BSs))
+		var wg sync.WaitGroup
+		for b := range net_.BSs {
+			if len(batches[b]) == 0 {
+				continue
+			}
+			b := b
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				responses[b], errs[b] = exchange(conns[b], &RoundRequest{Round: round, Requests: batches[b]})
+			}()
+		}
+		wg.Wait()
+		for b := range net_.BSs {
+			if errs[b] != nil {
+				return ClusterResult{}, fmt.Errorf("wire: BS %d round %d: %w", b, round, errs[b])
+			}
+			resp := responses[b]
+			if resp == nil {
+				continue
+			}
+			res.Frames += 2
+			for _, v := range resp.Verdicts {
+				st := ues[v.UE]
+				if v.Accepted {
+					st.assigned = true
+					st.servedBy = mec.BSID(b)
+				} else {
+					dropCandidate(net_, v.UE, st, mec.BSID(b))
+				}
+			}
+			for _, u := range coveredBy[b] {
+				if vw, ok := ues[u].views[mec.BSID(b)]; ok {
+					copy(vw.remCRU, resp.RemainingCRU)
+					vw.remRRB = resp.RemainingRRBs
+				}
+			}
+		}
+	}
+
+	// Orderly shutdown: one final frame per BS.
+	for b, conn := range conns {
+		if err := WriteFrame(conn, &RoundRequest{Shutdown: true}); err != nil {
+			return ClusterResult{}, fmt.Errorf("wire: shutdown BS %d: %w", b, err)
+		}
+		var resp RoundResponse
+		if err := ReadFrame(conn, &resp); err != nil && !errors.Is(err, io.EOF) {
+			return ClusterResult{}, fmt.Errorf("wire: shutdown ack BS %d: %w", b, err)
+		}
+		res.Frames += 2
+	}
+
+	res.Assignment = mec.NewAssignment(len(net_.UEs))
+	for u, st := range ues {
+		res.Assignment.ServingBS[u] = st.servedBy
+	}
+	if err := mec.ValidateAssignment(net_, res.Assignment); err != nil {
+		return ClusterResult{}, fmt.Errorf("wire: invalid assignment: %w", err)
+	}
+	res.BytesSent = sent.Load()
+	res.BytesReceived = received.Load()
+	return res, nil
+}
+
+// propose picks the UE's best candidate from its local view, pruning
+// view-infeasible BSs (Alg. 1 lines 4-10).
+func propose(net_ *mec.Network, cfg alloc.DMRAConfig, uid mec.UEID, st *ueState) (Request, mec.BSID, bool) {
+	all := net_.Candidates(uid)
+	ue := &net_.UEs[uid]
+	for len(st.cands) > 0 {
+		bestPos := -1
+		bestV := math.Inf(1)
+		var bestLink mec.Link
+		for pos, k := range st.cands {
+			l := all[k]
+			vw := st.views[l.BS]
+			if v := cfg.Preference(l, vw.remCRU[ue.Service], vw.remRRB); v < bestV {
+				bestPos, bestV, bestLink = pos, v, l
+			}
+		}
+		vw := st.views[bestLink.BS]
+		if vw.remCRU[ue.Service] >= ue.CRUDemand && vw.remRRB >= bestLink.RRBs {
+			return Request{
+				UE:          uid,
+				Service:     ue.Service,
+				CRUs:        ue.CRUDemand,
+				RRBs:        bestLink.RRBs,
+				SameSP:      bestLink.SameSP,
+				Fu:          net_.CoverCount(uid),
+				PricePerCRU: bestLink.PricePerCRU,
+			}, bestLink.BS, true
+		}
+		st.cands = append(st.cands[:bestPos], st.cands[bestPos+1:]...)
+	}
+	return Request{}, 0, false
+}
+
+func dropCandidate(net_ *mec.Network, uid mec.UEID, st *ueState, bs mec.BSID) {
+	all := net_.Candidates(uid)
+	for pos, k := range st.cands {
+		if all[k].BS == bs {
+			st.cands = append(st.cands[:pos], st.cands[pos+1:]...)
+			return
+		}
+	}
+}
+
+// exchange performs one framed request/response on a connection.
+func exchange(conn net.Conn, req *RoundRequest) (*RoundResponse, error) {
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	var resp RoundResponse
+	if err := ReadFrame(conn, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,105 @@
+// Package wire runs DMRA over real TCP sockets: every base station is a
+// server process (a goroutine with its own listener and private resource
+// ledger), and a coordinator hosting the thin UE agents drives the
+// propose/select rounds of Alg. 1 as framed JSON request/response
+// exchanges. It is the deployment-shaped sibling of internal/protocol's
+// simulated message passing: same algorithm, same outcome (parity-tested
+// against the synchronous solver), but with genuine serialization,
+// sockets, concurrency, and lifecycle management.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dmra/internal/mec"
+)
+
+// maxFrame bounds a frame's payload to keep a corrupt or malicious length
+// prefix from allocating unbounded memory.
+const maxFrame = 16 << 20
+
+// WriteFrame writes one length-prefixed JSON message.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed JSON message into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err // io.EOF passes through for clean close detection
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return fmt.Errorf("wire: read payload: %w", err)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return nil
+}
+
+// Request is one UE service request as it travels to a BS server
+// (Alg. 1 line 7: the UE's identity, demands, and coverage count).
+type Request struct {
+	UE      mec.UEID      `json:"ue"`
+	Service mec.ServiceID `json:"service"`
+	// CRUs is c_j^u and RRBs n_{u,i} for this UE-BS link.
+	CRUs int `json:"crus"`
+	RRBs int `json:"rrbs"`
+	// SameSP tells the BS whether the proposer subscribes to its owner.
+	SameSP bool `json:"sameSP"`
+	// Fu is the UE's coverage count f_u.
+	Fu int `json:"fu"`
+	// PricePerCRU is p_{i,u}; the BS echoes link economics back into its
+	// selection without needing the full network database.
+	PricePerCRU float64 `json:"pricePerCRU"`
+}
+
+// RoundRequest is the coordinator->BS frame carrying one round's batch.
+type RoundRequest struct {
+	Round    int       `json:"round"`
+	Requests []Request `json:"requests,omitempty"`
+	// Shutdown asks the server to close after replying.
+	Shutdown bool `json:"shutdown,omitempty"`
+}
+
+// Verdict is a BS's decision on one request.
+type Verdict struct {
+	UE mec.UEID `json:"ue"`
+	// Accepted reports admission; a false value is a permanent resource
+	// reject (the proposer should prune this BS).
+	Accepted bool `json:"accepted"`
+}
+
+// RoundResponse is the BS->coordinator frame: decisions plus the resource
+// broadcast of Alg. 1 line 26.
+type RoundResponse struct {
+	Round    int       `json:"round"`
+	Verdicts []Verdict `json:"verdicts,omitempty"`
+	// RemainingCRU and RemainingRRBs mirror the BS ledger after the round.
+	RemainingCRU  []int `json:"remainingCRU"`
+	RemainingRRBs int   `json:"remainingRRBs"`
+}

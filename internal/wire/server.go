@@ -1,0 +1,218 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"sync"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+)
+
+// BSServer is one base station running as a TCP server with a private
+// resource ledger. It accepts a single coordinator connection and answers
+// RoundRequest frames until a Shutdown frame, EOF, or Close.
+type BSServer struct {
+	id  mec.BSID
+	cfg alloc.DMRAConfig
+
+	ln net.Listener
+
+	mu       sync.Mutex
+	remCRU   []int
+	remRRB   int
+	admitted map[mec.UEID]bool
+
+	wg      sync.WaitGroup
+	closed  chan struct{}
+	onceErr sync.Once
+	err     error
+}
+
+// StartBS launches a BS server on 127.0.0.1 with an ephemeral port.
+// Callers must Close it.
+func StartBS(id mec.BSID, cruCapacity []int, maxRRBs int, cfg alloc.DMRAConfig) (*BSServer, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen: %w", err)
+	}
+	s := &BSServer{
+		id:       id,
+		cfg:      cfg,
+		ln:       ln,
+		remCRU:   append([]int(nil), cruCapacity...),
+		remRRB:   maxRRBs,
+		admitted: make(map[mec.UEID]bool),
+		closed:   make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's dialable address.
+func (s *BSServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and waits for its goroutines to exit.
+func (s *BSServer) Close() error {
+	s.ln.Close()
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	s.wg.Wait()
+	if s.err != nil && !errors.Is(s.err, net.ErrClosed) {
+		return s.err
+	}
+	return nil
+}
+
+func (s *BSServer) setErr(err error) {
+	s.onceErr.Do(func() { s.err = err })
+}
+
+// serve accepts the coordinator connection and answers rounds.
+func (s *BSServer) serve() {
+	defer s.wg.Done()
+	conn, err := s.ln.Accept()
+	if err != nil {
+		s.setErr(err)
+		return
+	}
+	defer conn.Close()
+	for {
+		var req RoundRequest
+		if err := ReadFrame(conn, &req); err != nil {
+			if !isClosed(err) {
+				s.setErr(err)
+			}
+			return
+		}
+		resp := s.process(&req)
+		if err := WriteFrame(conn, resp); err != nil {
+			s.setErr(err)
+			return
+		}
+		if req.Shutdown {
+			return
+		}
+	}
+}
+
+// isClosed reports whether err is an orderly connection close rather than
+// a protocol failure.
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// process runs Alg. 1 lines 11-26 on the server's private ledger.
+func (s *BSServer) process(req *RoundRequest) *RoundResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	resp := &RoundResponse{Round: req.Round}
+	selected := s.selectPerService(req.Requests)
+	total := 0
+	for _, r := range selected {
+		total += r.RRBs
+	}
+	if total > s.remRRB {
+		s.sortByPreference(selected)
+	}
+	for _, r := range selected {
+		if s.remCRU[r.Service] >= r.CRUs && s.remRRB >= r.RRBs {
+			s.remCRU[r.Service] -= r.CRUs
+			s.remRRB -= r.RRBs
+			s.admitted[r.UE] = true
+			resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: true})
+		} else {
+			resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: false})
+		}
+	}
+	resp.RemainingCRU = append([]int(nil), s.remCRU...)
+	resp.RemainingRRBs = s.remRRB
+	return resp
+}
+
+// selectPerService mirrors alloc.DMRAConfig.SelectPerService over wire
+// requests: one winner per service, same-SP first, then smallest f_u,
+// then smallest footprint, then lowest UE ID. The cross-implementation
+// parity test in this package guards against drift.
+func (s *BSServer) selectPerService(reqs []Request) []Request {
+	byService := make(map[mec.ServiceID][]Request)
+	var services []mec.ServiceID
+	for _, r := range reqs {
+		if _, seen := byService[r.Service]; !seen {
+			services = append(services, r.Service)
+		}
+		byService[r.Service] = append(byService[r.Service], r)
+	}
+	sort.Slice(services, func(a, b int) bool { return services[a] < services[b] })
+
+	selected := make([]Request, 0, len(services))
+	for _, j := range services {
+		group := byService[j]
+		if s.cfg.SPPriority {
+			var same []Request
+			for _, r := range group {
+				if r.SameSP {
+					same = append(same, r)
+				}
+			}
+			if len(same) > 0 {
+				group = same
+			}
+		}
+		if s.cfg.FuTieBreak {
+			group = argminWire(group, func(r Request) int { return r.Fu })
+		}
+		group = argminWire(group, func(r Request) int { return r.RRBs + r.CRUs })
+		best := group[0]
+		for _, r := range group[1:] {
+			if r.UE < best.UE {
+				best = r
+			}
+		}
+		selected = append(selected, best)
+	}
+	return selected
+}
+
+// sortByPreference mirrors alloc.DMRAConfig.SortByBSPreference.
+func (s *BSServer) sortByPreference(reqs []Request) {
+	sort.SliceStable(reqs, func(a, b int) bool {
+		ra, rb := reqs[a], reqs[b]
+		if s.cfg.SPPriority && ra.SameSP != rb.SameSP {
+			return ra.SameSP
+		}
+		if s.cfg.FuTieBreak && ra.Fu != rb.Fu {
+			return ra.Fu < rb.Fu
+		}
+		fa, fb := ra.RRBs+ra.CRUs, rb.RRBs+rb.CRUs
+		if fa != fb {
+			return fa < fb
+		}
+		return ra.UE < rb.UE
+	})
+}
+
+func argminWire(reqs []Request, key func(Request) int) []Request {
+	best := math.MaxInt
+	for _, r := range reqs {
+		if k := key(r); k < best {
+			best = k
+		}
+	}
+	var out []Request
+	for _, r := range reqs {
+		if key(r) == best {
+			out = append(out, r)
+		}
+	}
+	return out
+}
