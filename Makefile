@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet check bench bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the full verification gate: vet plus the race-enabled suite
+# (which exercises the parallel experiment engine across worker counts).
+check: vet race
+
+bench:
+	$(GO) test ./internal/exp/ -bench BenchmarkFigureRun -benchmem -run '^$$'
+
+# bench-baseline records sequential-vs-parallel engine timings to
+# BENCH_exp.json for cross-PR comparison.
+bench-baseline:
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dmra-figures [-fig N] [-seeds 20] [-out DIR]
+//	dmra-figures [-fig N] [-seeds 20] [-procs 0] [-out DIR]
 package main
 
 import (
@@ -19,8 +19,8 @@ import (
 )
 
 // runAblations executes the A1-A5 design-rule study of DESIGN.md.
-func runAblations(seeds int, outDir string) error {
-	tab, err := exp.RunAblations(exp.Options{Seeds: seeds})
+func runAblations(opts exp.Options, outDir string) error {
+	tab, err := exp.RunAblations(opts)
 	if err != nil {
 		return err
 	}
@@ -57,15 +57,17 @@ func run(args []string) error {
 		plot      = fs.Bool("plot", false, "render each figure as a text chart")
 		ablations = fs.Bool("ablations", false, "run the ablation study instead of the figures")
 		protocol  = fs.Bool("protocol", false, "measure decentralized-protocol costs instead of the figures")
+		procs     = fs.Int("procs", 0, "worker goroutines for the replication grid (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	opts := exp.Options{Seeds: *seeds, Parallelism: *procs}
 	if *ablations {
-		return runAblations(*seeds, *outDir)
+		return runAblations(opts, *outDir)
 	}
 	if *protocol {
-		tab, err := exp.RunProtocolCosts(exp.Options{Seeds: *seeds}, nil)
+		tab, err := exp.RunProtocolCosts(opts, nil)
 		if err != nil {
 			return err
 		}
@@ -100,7 +102,7 @@ func run(args []string) error {
 	}
 
 	for _, f := range figures {
-		tab, err := f.Run(dmra.FigureOptions{Seeds: *seeds})
+		tab, err := f.Run(opts)
 		if err != nil {
 			return fmt.Errorf("figure %d: %w", f.ID, err)
 		}

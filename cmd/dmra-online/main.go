@@ -12,6 +12,8 @@
 //	-epoch 1       re-allocation period (seconds)
 //	-algo dmra     matching policy per epoch
 //	-seed 1        session seed
+//	-replicate 1   independent sessions to aggregate (seeds seed..seed+N-1)
+//	-procs 0       worker goroutines for replication (0 = GOMAXPROCS)
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"os"
 
 	"dmra"
+	"dmra/internal/metrics"
 	"dmra/internal/viz"
 )
 
@@ -33,14 +36,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dmra-online", flag.ContinueOnError)
 	var (
-		rate     = fs.Float64("rate", 5, "UE arrivals per second")
-		hold     = fs.Float64("hold", 120, "mean task holding time (s)")
-		duration = fs.Float64("duration", 600, "simulated horizon (s)")
-		epoch    = fs.Float64("epoch", 1, "re-allocation period (s)")
-		algo     = fs.String("algo", "dmra", "matching policy (dmra|dcsp|nonco|random|greedy|stablematch)")
-		seed     = fs.Uint64("seed", 1, "session seed")
-		pool     = fs.Int("pool", 0, "concurrent-UE profile pool (0 = 4x offered load)")
-		series   = fs.Bool("series", false, "chart profit rate and occupancy over time")
+		rate      = fs.Float64("rate", 5, "UE arrivals per second")
+		hold      = fs.Float64("hold", 120, "mean task holding time (s)")
+		duration  = fs.Float64("duration", 600, "simulated horizon (s)")
+		epoch     = fs.Float64("epoch", 1, "re-allocation period (s)")
+		algo      = fs.String("algo", "dmra", "matching policy (dmra|dcsp|nonco|random|greedy|stablematch)")
+		seed      = fs.Uint64("seed", 1, "session seed")
+		pool      = fs.Int("pool", 0, "concurrent-UE profile pool (0 = 4x offered load)")
+		series    = fs.Bool("series", false, "chart profit rate and occupancy over time")
+		replicate = fs.Int("replicate", 1, "independent sessions to aggregate (seeds seed..seed+N-1)")
+		procs     = fs.Int("procs", 0, "worker goroutines for replication (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +68,10 @@ func run(args []string) error {
 		if cfg.Scenario.UEs < 100 {
 			cfg.Scenario.UEs = 100
 		}
+	}
+
+	if *replicate > 1 {
+		return runReplicated(cfg, *replicate, *procs)
 	}
 
 	rep, err := dmra.RunOnline(cfg)
@@ -104,6 +113,48 @@ func run(args []string) error {
 			}
 			fmt.Println(chart)
 		}
+	}
+	return nil
+}
+
+// runReplicated aggregates n independent sessions (seeds cfg.Seed ..
+// cfg.Seed+n-1) run across procs workers. Each replication writes only
+// its own slot, so the printed summary is independent of scheduling.
+func runReplicated(cfg dmra.OnlineConfig, n, procs int) error {
+	edgeRatios := make([]float64, n)
+	profitTimes := make([]float64, n)
+	occupancies := make([]float64, n)
+	concurrents := make([]float64, n)
+	err := dmra.ForEachParallel(procs, n, func(i int) error {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		c.RecordSeries = false
+		rep, err := dmra.RunOnline(c)
+		if err != nil {
+			return fmt.Errorf("session seed %d: %w", c.Seed, err)
+		}
+		edgeRatios[i] = 100 * rep.EdgeRatio()
+		profitTimes[i] = rep.ProfitTime
+		occupancies[i] = 100 * rep.MeanOccupancyRRB
+		concurrents[i] = rep.MeanConcurrent
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dynamic sessions: %d replications, %.1f UE/s, %.0f s mean hold, %.0f s horizon, %s every %.1f s (seeds %d-%d)\n\n",
+		n, cfg.ArrivalRate, cfg.MeanHoldS, cfg.DurationS, cfg.Algorithm, cfg.EpochS, cfg.Seed, cfg.Seed+uint64(n)-1)
+	for _, row := range []struct {
+		name string
+		s    metrics.Summary
+	}{
+		{"edge ratio (%)", metrics.Summarize(edgeRatios)},
+		{"profit-time", metrics.Summarize(profitTimes)},
+		{"RRB occupancy (%)", metrics.Summarize(occupancies)},
+		{"mean concurrent UEs", metrics.Summarize(concurrents)},
+	} {
+		fmt.Printf("%-20s %12.2f ±%-8.2f (min %.2f, max %.2f)\n",
+			row.name, row.s.Mean, row.s.CI95(), row.s.Min, row.s.Max)
 	}
 	return nil
 }

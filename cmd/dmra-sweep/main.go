@@ -38,6 +38,7 @@ func run(args []string) error {
 		metric = fs.String("metric", "profit", "measured quantity (profit|forwarded|served|latency)")
 		seeds  = fs.Int("seeds", 10, "independent replications per point")
 		ues    = fs.Int("ues", 800, "UE population (when not swept)")
+		procs  = fs.Int("procs", 0, "worker goroutines per sweep point (0 = GOMAXPROCS, 1 = sequential)")
 		csv    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -49,6 +50,12 @@ func run(args []string) error {
 		return err
 	}
 	algorithms := strings.Split(*algos, ",")
+	// Reject unknown algorithm names before any replication runs.
+	for _, algo := range algorithms {
+		if err := dmra.ValidateAlgorithm(algo); err != nil {
+			return err
+		}
+	}
 
 	tab := &metrics.Table{
 		Title:  fmt.Sprintf("%s vs %s (%d seeds)", *metric, *param, *seeds),
@@ -57,7 +64,7 @@ func run(args []string) error {
 		Series: algorithms,
 	}
 	for _, x := range xs {
-		cells, err := runPoint(*param, x, algorithms, *metric, *seeds, *ues)
+		cells, err := runPoint(*param, x, algorithms, *metric, *seeds, *ues, *procs)
 		if err != nil {
 			return err
 		}
@@ -74,7 +81,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runPoint(param string, x float64, algorithms []string, metric string, seeds, ues int) ([]metrics.Summary, error) {
+func runPoint(param string, x float64, algorithms []string, metric string, seeds, ues, procs int) ([]metrics.Summary, error) {
 	scenario := dmra.DefaultScenario()
 	scenario.UEs = ues
 	rho := dmra.DefaultDMRAConfig().Rho
@@ -99,11 +106,16 @@ func runPoint(param string, x float64, algorithms []string, metric string, seeds
 		return nil, fmt.Errorf("unknown parameter %q", param)
 	}
 
+	// samples[ai][seed]: each replication writes only its own slot, so the
+	// summary is byte-identical however the workers are scheduled.
 	samples := make([][]float64, len(algorithms))
-	for seed := uint64(1); seed <= uint64(seeds); seed++ {
-		net, err := dmra.BuildNetwork(scenario, seed)
+	for ai := range samples {
+		samples[ai] = make([]float64, seeds)
+	}
+	err := dmra.ForEachParallel(procs, seeds, func(s int) error {
+		net, err := dmra.BuildNetwork(scenario, uint64(s)+1)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for ai, algo := range algorithms {
 			var res dmra.Result
@@ -115,14 +127,18 @@ func runPoint(param string, x float64, algorithms []string, metric string, seeds
 				res, err = dmra.Allocate(net, algo)
 			}
 			if err != nil {
-				return nil, fmt.Errorf("%s at %s=%g: %w", algo, param, x, err)
+				return fmt.Errorf("%s at %s=%g: %w", algo, param, x, err)
 			}
 			v, err := measure(metric, net, res)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			samples[ai] = append(samples[ai], v)
+			samples[ai][s] = v
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	cells := make([]metrics.Summary, len(samples))
 	for i, s := range samples {

@@ -121,6 +121,16 @@ func Allocate(net *Network, algorithm string) (Result, error) {
 	return runAllocator(net, a)
 }
 
+// ValidateAlgorithm reports whether name is a recognized built-in
+// algorithm, letting sweep drivers fail fast before replication work.
+func ValidateAlgorithm(name string) error {
+	if name == "dmra" {
+		return nil
+	}
+	_, err := alloc.ByName(name)
+	return err
+}
+
 // AllocateDMRA runs DMRA with an explicit configuration (rho sweeps,
 // ablations).
 func AllocateDMRA(net *Network, cfg DMRAConfig) (Result, error) {
@@ -259,8 +269,26 @@ func RunOnline(cfg OnlineConfig) (OnlineReport, error) {
 // Figure describes one of the paper's evaluation figures.
 type Figure = exp.Figure
 
-// FigureOptions controls figure replication.
+// FigureOptions controls figure replication. The zero value requests the
+// documented defaults; fields whose zero is itself a meaningful setting
+// (Rho 0, BaseSeed 0) are pointers built with FigureRho and FigureBaseSeed.
 type FigureOptions = exp.Options
+
+// FigureRho sets an explicit FigureOptions.Rho, distinguishing the rho=0
+// price-only ablation from "use the calibrated default".
+func FigureRho(v float64) *float64 { return exp.Rho(v) }
+
+// FigureBaseSeed sets an explicit FigureOptions.BaseSeed, distinguishing
+// base seed 0 from "use the default base seed".
+func FigureBaseSeed(v uint64) *uint64 { return exp.BaseSeed(v) }
+
+// ForEachParallel fans fn over indices 0..n-1 across the given number of
+// worker goroutines (0 = GOMAXPROCS), returning the lowest-index error.
+// It is the worker pool behind figure replication, exported for callers
+// building their own deterministic experiment grids.
+func ForEachParallel(parallelism, n int, fn func(i int) error) error {
+	return exp.ForEach(parallelism, n, fn)
+}
 
 // Table is a figure's aggregated data with text and CSV renderers.
 type Table = metrics.Table

@@ -236,7 +236,14 @@ func (d *DMRA) bestCandidate(s *mec.State, cands *candidateSet, u mec.UEID) (int
 
 // admit applies the radio-budget check of Alg. 1 lines 22-25: if all
 // selected UEs fit the BS's remaining RRBs, admit them all; otherwise admit
-// in order of the BS's preference until the budget is exhausted.
+// strictly in the BS's preference order until the budget is exhausted —
+// the first over-budget request and everything less preferred behind it
+// are trimmed together, exactly as the paper's loop terminates. (A
+// first-fit variant that kept admitting smaller requests past the first
+// reject would let a less-preferred UE leapfrog a more-preferred one.)
+// Trimmed UEs stay unassigned and retry next iteration, where the
+// propose-time feasibility check decides whether this BS remains a
+// candidate.
 func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) {
 	if len(selected) == 0 {
 		return
@@ -248,12 +255,10 @@ func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) {
 	if total > state.RemainingRRBs(selected[0].Link.BS) {
 		d.cfg.SortByBSPreference(state.Network(), selected)
 	}
-	for _, r := range selected {
+	for i, r := range selected {
 		if err := state.Assign(r.Link.UE, r.Link.BS); err != nil {
-			// Over-budget under trimming: the UE stays unassigned and
-			// retries next iteration.
-			stats.Rejects++
-			continue
+			stats.Rejects += len(selected) - i
+			return
 		}
 		stats.Accepts++
 	}

@@ -1,0 +1,80 @@
+package alloc
+
+import (
+	"testing"
+
+	"dmra/internal/geo"
+	"dmra/internal/mec"
+)
+
+// TestDMRAAdmitTrimsStrictlyInPreferenceOrder pins the Alg. 1 lines 22-25
+// semantics: when the selected batch exceeds the radio budget, the BS
+// admits in its preference order and stops at the first request that does
+// not fit — everything behind it is trimmed, even requests small enough to
+// squeeze into the leftover budget. A first-fit admit (the bug this test
+// guards against) would let the least-preferred UE C leapfrog B here.
+func TestDMRAAdmitTrimsStrictlyInPreferenceOrder(t *testing.T) {
+	// Four UEs on one BS: A (id 0) and C (id 2) are cheap, B (id 1) is
+	// expensive, and D (id 3) is a filler whose assignment shrinks the
+	// remaining budget below B's demand before admit runs.
+	ues := []mec.UE{
+		{ID: 0, SP: 0, Pos: geo.Point{X: 50}, Service: 0, CRUDemand: 4, RateBps: 2e6},
+		{ID: 1, SP: 0, Pos: geo.Point{X: -50}, Service: 0, CRUDemand: 4, RateBps: 16e6},
+		{ID: 2, SP: 0, Pos: geo.Point{X: 60}, Service: 0, CRUDemand: 4, RateBps: 2e6},
+		{ID: 3, SP: 0, Pos: geo.Point{X: -60}, Service: 0, CRUDemand: 4, RateBps: 16e6},
+	}
+	probe := craftNetwork(t, spList(1),
+		[]mec.BS{{ID: 0, SP: 0, Pos: geo.Point{}, CRUCapacity: []int{100}, MaxRRBs: 200}},
+		ues, 1)
+	var rrbs [4]int
+	for u := 0; u < 4; u++ {
+		l, ok := probe.Link(mec.UEID(u), 0)
+		if !ok {
+			t.Fatalf("setup: UE %d not covered", u)
+		}
+		rrbs[u] = l.RRBs
+	}
+	// After D and A are admitted, B must not fit while C still would.
+	if rrbs[1] <= rrbs[0]+rrbs[2] {
+		t.Fatalf("setup: B must outweigh A+C, got rrbs=%v", rrbs)
+	}
+
+	// Size the budget so every link survives the coverage filter but
+	// remaining = A+C once D is assigned.
+	budget := rrbs[3] + rrbs[0] + rrbs[2]
+	net := craftNetwork(t, spList(1),
+		[]mec.BS{{ID: 0, SP: 0, Pos: geo.Point{}, CRUCapacity: []int{100}, MaxRRBs: budget}},
+		ues, 1)
+	state := mec.NewState(net)
+	if err := state.Assign(3, 0); err != nil {
+		t.Fatalf("setup: assign filler: %v", err)
+	}
+
+	// Craft the over-budget inbox directly (bypassing per-service
+	// selection) with f_u forcing the BS preference order A > B > C.
+	selected := make([]Request, 0, 3)
+	for _, uf := range []struct{ u, fu int }{{2, 3}, {0, 1}, {1, 2}} {
+		l, ok := net.Link(mec.UEID(uf.u), 0)
+		if !ok {
+			t.Fatalf("setup: UE %d lost coverage at budget %d", uf.u, budget)
+		}
+		selected = append(selected, Request{Link: l, Fu: uf.fu})
+	}
+
+	d := NewDMRA(DefaultDMRAConfig())
+	var stats Stats
+	d.admit(state, selected, &stats)
+
+	if !state.Assigned(0) {
+		t.Error("most-preferred UE A (id 0) not admitted")
+	}
+	if state.Assigned(1) {
+		t.Error("over-budget UE B (id 1) admitted")
+	}
+	if state.Assigned(2) {
+		t.Error("UE C (id 2) admitted past the trim point: first-fit leapfrog")
+	}
+	if stats.Accepts != 1 || stats.Rejects != 2 {
+		t.Errorf("accepts=%d rejects=%d, want 1 and 2", stats.Accepts, stats.Rejects)
+	}
+}

@@ -93,50 +93,70 @@ func ablationVariants() []ablationVariant {
 }
 
 // RunAblations measures every DMRA design-rule variant plus the reference
-// algorithms on the default 900-UE scenario (overridable via opts).
+// algorithms on the default 900-UE scenario (overridable via opts). The
+// (variant, seed) grid is fanned across Options.Parallelism workers with
+// pre-indexed result slots, so the table is byte-identical to a
+// sequential run.
 func RunAblations(opts Options) (*AblationTable, error) {
-	opts = opts.withDefaults()
+	o := opts.resolve()
 	cfg := workload.Default()
-	if opts.Workload != nil {
-		cfg = *opts.Workload
+	if o.workload != nil {
+		cfg = *o.workload
 	} else {
 		cfg.UEs = 900
 	}
 
+	variants := ablationVariants()
+	allocators := make([]alloc.Allocator, len(variants))
+	for vi, v := range variants {
+		allocators[vi] = v.build(o.rho)
+	}
+
+	profits := make([][]float64, len(variants))
+	serveds := make([][]float64, len(variants))
+	ownShares := make([][]float64, len(variants))
+	for vi := range variants {
+		profits[vi] = make([]float64, o.seeds)
+		serveds[vi] = make([]float64, o.seeds)
+		ownShares[vi] = make([]float64, o.seeds)
+	}
+	err := ForEach(o.parallelism, len(variants)*o.seeds, func(i int) error {
+		vi, seed := i/o.seeds, i%o.seeds
+		net, err := cfg.Build(o.baseSeed + uint64(seed))
+		if err != nil {
+			return err
+		}
+		res, err := allocators[vi].Allocate(net)
+		if err != nil {
+			return fmt.Errorf("exp: ablation %q: %w", variants[vi].name, err)
+		}
+		r := mec.Profit(net, res.Assignment)
+		profits[vi][seed] = r.TotalProfit()
+		served := r.ServedUEs()
+		serveds[vi][seed] = float64(served)
+		own := 0
+		for _, p := range r.PerSP {
+			own += p.OwnBSUEs
+		}
+		if served > 0 {
+			ownShares[vi][seed] = float64(own) / float64(served)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tab := &AblationTable{
 		Title: fmt.Sprintf("Ablations: %d UEs, iota=%g, %s placement, %d seeds",
-			cfg.UEs, cfg.Pricing.CrossSPFactor, cfg.Placement, opts.Seeds),
+			cfg.UEs, cfg.Pricing.CrossSPFactor, cfg.Placement, o.seeds),
 	}
-	for _, v := range ablationVariants() {
-		var profits, serveds, ownShares []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			net, err := cfg.Build(opts.BaseSeed + uint64(seed))
-			if err != nil {
-				return nil, err
-			}
-			res, err := v.build(opts.Rho).Allocate(net)
-			if err != nil {
-				return nil, fmt.Errorf("exp: ablation %q: %w", v.name, err)
-			}
-			r := mec.Profit(net, res.Assignment)
-			profits = append(profits, r.TotalProfit())
-			served := r.ServedUEs()
-			serveds = append(serveds, float64(served))
-			own := 0
-			for _, p := range r.PerSP {
-				own += p.OwnBSUEs
-			}
-			if served > 0 {
-				ownShares = append(ownShares, float64(own)/float64(served))
-			} else {
-				ownShares = append(ownShares, 0)
-			}
-		}
+	for vi, v := range variants {
 		tab.Rows = append(tab.Rows, AblationRow{
 			Name:     v.name,
-			Profit:   metrics.Summarize(profits),
-			Served:   metrics.Summarize(serveds),
-			OwnShare: metrics.Summarize(ownShares),
+			Profit:   metrics.Summarize(profits[vi]),
+			Served:   metrics.Summarize(serveds[vi]),
+			OwnShare: metrics.Summarize(ownShares[vi]),
 		})
 	}
 	return tab, nil

@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchFigure is a trimmed Fig. 2: two populations, all three algorithms,
+// enough replications for the worker pool to matter.
+func benchFigure(b testing.TB) Figure {
+	f, err := FigureByID(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.XValues = []float64{400, 600}
+	return f
+}
+
+func benchRun(b *testing.B, parallelism int) {
+	f := benchFigure(b)
+	opts := Options{Seeds: 4, Parallelism: parallelism}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigureRun(b *testing.B) {
+	b.Run("procs=1", func(b *testing.B) { benchRun(b, 1) })
+	b.Run("procs=max", func(b *testing.B) { benchRun(b, runtime.GOMAXPROCS(0)) })
+}
+
+// TestWriteBenchBaseline captures the sequential-vs-parallel engine
+// baseline to the JSON file named by BENCH_BASELINE (skipped when unset).
+// Run it via `make bench-baseline`.
+func TestWriteBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	seq := testing.Benchmark(func(b *testing.B) { benchRun(b, 1) })
+	par := testing.Benchmark(func(b *testing.B) { benchRun(b, runtime.GOMAXPROCS(0)) })
+	baseline := map[string]any{
+		"benchmark":            "BenchmarkFigureRun (fig2, 2 x-values, 3 algorithms, 4 seeds)",
+		"gomaxprocs":           runtime.GOMAXPROCS(0),
+		"sequential_ns_op":     seq.NsPerOp(),
+		"parallel_ns_op":       par.NsPerOp(),
+		"speedup":              float64(seq.NsPerOp()) / float64(par.NsPerOp()),
+		"sequential_iters":     seq.N,
+		"parallel_iters":       par.N,
+		"allocs_op_sequential": seq.AllocsPerOp(),
+		"allocs_op_parallel":   par.AllocsPerOp(),
+	}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: seq=%dns/op par=%dns/op speedup=%.2fx",
+		path, seq.NsPerOp(), par.NsPerOp(), baseline["speedup"])
+}

@@ -105,42 +105,151 @@ func FigureByID(id int) (Figure, error) {
 }
 
 // Options controls a figure run.
+//
+// The zero value requests the documented defaults. Parameters whose zero
+// is a legitimate setting (BaseSeed 0, Rho 0 — the Eq. 17 price-only
+// ablation) are pointers so "unset" and "explicitly zero" stay
+// distinguishable; build them with the Rho and BaseSeed helpers.
 type Options struct {
 	// Seeds is the number of independent replications (default 20).
 	Seeds int
-	// BaseSeed offsets the replication seeds (default 1).
-	BaseSeed uint64
+	// BaseSeed offsets the replication seeds: replication k builds its
+	// scenario from *BaseSeed + k. Nil means the default base seed 1;
+	// BaseSeed(0) is a valid explicit choice.
+	BaseSeed *uint64
 	// Workload overrides the scenario defaults; leave nil for
 	// workload.Default(). Iota, placement, UE count and the swept
 	// parameter are always set by the figure itself.
 	Workload *workload.Config
-	// Rho is the DMRA rho used in UE sweeps (default
-	// alloc.DefaultDMRAConfig().Rho); ignored for rho sweeps.
-	Rho float64
+	// Rho is the DMRA rho used in UE sweeps; ignored for rho sweeps.
+	// Nil means the calibrated default (alloc.DefaultDMRAConfig().Rho);
+	// Rho(0) runs the price-only preference ablation, dropping the
+	// remaining-resource term of Eq. 17 entirely.
+	Rho *float64
+	// Parallelism caps the worker goroutines fanning the (seed, x-value)
+	// replication grid. 0 (the default) uses GOMAXPROCS; 1 forces the
+	// sequential path. The output table is byte-identical regardless.
+	Parallelism int
 }
 
-func (o Options) withDefaults() Options {
-	if o.Seeds <= 0 {
-		o.Seeds = 20
-	}
-	if o.BaseSeed == 0 {
-		o.BaseSeed = 1
-	}
-	if o.Rho == 0 {
-		o.Rho = alloc.DefaultDMRAConfig().Rho
-	}
-	return o
+// Rho wraps an explicit rho for Options.Rho, distinguishing "rho = 0"
+// (price-only ablation) from "use the default".
+func Rho(v float64) *float64 { return &v }
+
+// BaseSeed wraps an explicit base seed for Options.BaseSeed,
+// distinguishing "seed 0" from "use the default".
+func BaseSeed(v uint64) *uint64 { return &v }
+
+// resolved is Options with every default applied; zero values in here are
+// real settings, not sentinels.
+type resolved struct {
+	seeds       int
+	baseSeed    uint64
+	rho         float64
+	parallelism int
+	workload    *workload.Config
 }
 
-// Run executes the figure and returns its data table.
+func (o Options) resolve() resolved {
+	r := resolved{
+		seeds:       o.Seeds,
+		baseSeed:    1,
+		rho:         alloc.DefaultDMRAConfig().Rho,
+		parallelism: o.Parallelism,
+		workload:    o.Workload,
+	}
+	if r.seeds <= 0 {
+		r.seeds = 20
+	}
+	if o.BaseSeed != nil {
+		r.baseSeed = *o.BaseSeed
+	}
+	if o.Rho != nil {
+		r.rho = *o.Rho
+	}
+	return r
+}
+
+// Run executes the figure and returns its data table. The replication
+// grid (every seed of every x value) is fanned across Options.Parallelism
+// worker goroutines; each replication builds its own mec.Network and
+// mec.State, and results land in pre-indexed slots, so the table is
+// byte-identical to a sequential run regardless of scheduling.
 func (f Figure) Run(opts Options) (*metrics.Table, error) {
-	opts = opts.withDefaults()
+	o := opts.resolve()
 	base := workload.Default()
-	if opts.Workload != nil {
-		base = *opts.Workload
+	if o.workload != nil {
+		base = *o.workload
 	}
 	base.Pricing.CrossSPFactor = f.Iota
 	base.Placement = f.Placement
+
+	// Validate every algorithm name and instantiate each x value's
+	// allocators once, before any replication runs: an unknown name must
+	// fail fast, not after Seeds x |XValues| allocations of work.
+	type point struct {
+		cfg        workload.Config
+		allocators []alloc.Allocator
+	}
+	points := make([]point, len(f.XValues))
+	for xi, x := range f.XValues {
+		cfg := base
+		var dmraCfg alloc.DMRAConfig
+		switch f.X {
+		case XUEs:
+			cfg.UEs = int(x)
+			dmraCfg = alloc.DMRAConfig{Rho: o.rho, SPPriority: true, FuTieBreak: true}
+		case XRho:
+			cfg.UEs = f.UEs
+			dmraCfg = alloc.DMRAConfig{Rho: x, SPPriority: true, FuTieBreak: true}
+		default:
+			return nil, fmt.Errorf("exp: unknown x-axis %q", f.X)
+		}
+		allocators := make([]alloc.Allocator, len(f.Algorithms))
+		for ai, name := range f.Algorithms {
+			a, err := allocatorFor(name, dmraCfg)
+			if err != nil {
+				return nil, err
+			}
+			allocators[ai] = a
+		}
+		points[xi] = point{cfg: cfg, allocators: allocators}
+	}
+
+	// samples[xi][ai][seed], filled by the grid workers. Allocators are
+	// shared across workers: every built-in is stateless per Allocate
+	// call, operating only on its per-call mec.State.
+	samples := make([][][]float64, len(points))
+	for xi := range samples {
+		samples[xi] = make([][]float64, len(f.Algorithms))
+		for ai := range samples[xi] {
+			samples[xi][ai] = make([]float64, o.seeds)
+		}
+	}
+	err := ForEach(o.parallelism, len(points)*o.seeds, func(i int) error {
+		xi, seed := i/o.seeds, i%o.seeds
+		p := points[xi]
+		x := f.XValues[xi]
+		net, err := p.cfg.Build(o.baseSeed + uint64(seed))
+		if err != nil {
+			return fmt.Errorf("exp: figure %d x=%g: %w", f.ID, x, err)
+		}
+		for ai, allocator := range p.allocators {
+			res, err := allocator.Allocate(net)
+			if err != nil {
+				return fmt.Errorf("exp: figure %d x=%g %s: %w", f.ID, x, f.Algorithms[ai], err)
+			}
+			v, err := measure(f.Metric, net, res.Assignment)
+			if err != nil {
+				return err
+			}
+			samples[xi][ai][seed] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	seriesNames := make([]string, len(f.Algorithms))
 	for i, a := range f.Algorithms {
@@ -152,48 +261,12 @@ func (f Figure) Run(opts Options) (*metrics.Table, error) {
 		YLabel: string(f.Metric),
 		Series: seriesNames,
 	}
-
-	for _, x := range f.XValues {
-		cfg := base
-		var dmraCfg alloc.DMRAConfig
-		switch f.X {
-		case XUEs:
-			cfg.UEs = int(x)
-			dmraCfg = alloc.DMRAConfig{Rho: opts.Rho, SPPriority: true, FuTieBreak: true}
-		case XRho:
-			cfg.UEs = f.UEs
-			dmraCfg = alloc.DMRAConfig{Rho: x, SPPriority: true, FuTieBreak: true}
-		default:
-			return nil, fmt.Errorf("exp: unknown x-axis %q", f.X)
+	for xi := range points {
+		cells := make([]metrics.Summary, len(f.Algorithms))
+		for ai := range cells {
+			cells[ai] = metrics.Summarize(samples[xi][ai])
 		}
-
-		samples := make([][]float64, len(f.Algorithms))
-		for seed := 0; seed < opts.Seeds; seed++ {
-			net, err := cfg.Build(opts.BaseSeed + uint64(seed))
-			if err != nil {
-				return nil, fmt.Errorf("exp: figure %d x=%g: %w", f.ID, x, err)
-			}
-			for ai, name := range f.Algorithms {
-				allocator, err := allocatorFor(name, dmraCfg)
-				if err != nil {
-					return nil, err
-				}
-				res, err := allocator.Allocate(net)
-				if err != nil {
-					return nil, fmt.Errorf("exp: figure %d x=%g %s: %w", f.ID, x, name, err)
-				}
-				v, err := measure(f.Metric, net, res.Assignment)
-				if err != nil {
-					return nil, err
-				}
-				samples[ai] = append(samples[ai], v)
-			}
-		}
-		cells := make([]metrics.Summary, len(samples))
-		for i, s := range samples {
-			cells[i] = metrics.Summarize(s)
-		}
-		if err := tab.AddRow(x, cells); err != nil {
+		if err := tab.AddRow(f.XValues[xi], cells); err != nil {
 			return nil, err
 		}
 	}

@@ -166,7 +166,7 @@ func TestRunDeterministicInSeeds(t *testing.T) {
 	if a.Rows[0].Cells[0].Mean != b.Rows[0].Cells[0].Mean {
 		t.Error("identical options produced different results")
 	}
-	c, err := f.Run(Options{Seeds: 3, BaseSeed: 99})
+	c, err := f.Run(Options{Seeds: 3, BaseSeed: BaseSeed(99)})
 	if err != nil {
 		t.Fatal(err)
 	}

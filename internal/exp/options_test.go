@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+	"dmra/internal/metrics"
+	"dmra/internal/workload"
+)
+
+func TestResolveDefaults(t *testing.T) {
+	o := Options{}.resolve()
+	if o.seeds != 20 {
+		t.Errorf("seeds = %d, want 20", o.seeds)
+	}
+	if o.baseSeed != 1 {
+		t.Errorf("baseSeed = %d, want 1", o.baseSeed)
+	}
+	if want := alloc.DefaultDMRAConfig().Rho; o.rho != want {
+		t.Errorf("rho = %g, want %g", o.rho, want)
+	}
+	if o.parallelism != 0 {
+		t.Errorf("parallelism = %d, want 0 (GOMAXPROCS)", o.parallelism)
+	}
+
+	o = Options{Seeds: 7, BaseSeed: BaseSeed(0), Rho: Rho(0), Parallelism: 3}.resolve()
+	if o.seeds != 7 || o.baseSeed != 0 || o.rho != 0 || o.parallelism != 3 {
+		t.Errorf("explicit options not honoured: %+v", o)
+	}
+}
+
+// manualDMRAMeans reruns a figure point by hand: build the scenario for
+// each seed and allocate with an explicitly configured DMRA.
+func manualDMRAMeans(t *testing.T, f Figure, x float64, seeds int, baseSeed uint64, rho float64) metrics.Summary {
+	t.Helper()
+	cfg := workload.Default()
+	cfg.Pricing.CrossSPFactor = f.Iota
+	cfg.Placement = f.Placement
+	cfg.UEs = int(x)
+	d := alloc.NewDMRA(alloc.DMRAConfig{Rho: rho, SPPriority: true, FuTieBreak: true})
+	samples := make([]float64, seeds)
+	for s := 0; s < seeds; s++ {
+		net, err := cfg.Build(baseSeed + uint64(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Allocate(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[s] = mec.Profit(net, res.Assignment).TotalProfit()
+	}
+	return metrics.Summarize(samples)
+}
+
+// TestRhoZeroIsHonoured is the regression test for the zero-value option
+// trap: Options{Rho: Rho(0)} must run the price-only ablation (rho = 0 in
+// Eq. 17), not silently fall back to the default rho.
+func TestRhoZeroIsHonoured(t *testing.T) {
+	f, err := FigureByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = shrink(f, []float64{500})
+	tab, err := f.Run(Options{Seeds: 3, Rho: Rho(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tab.SeriesCells("DMRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := manualDMRAMeans(t, f, 500, 3, 1, 0)
+	if cells[0] != want {
+		t.Errorf("Rho(0) run = %+v, want rho=0 allocation %+v", cells[0], want)
+	}
+	def := manualDMRAMeans(t, f, 500, 3, 1, alloc.DefaultDMRAConfig().Rho)
+	if cells[0] == def {
+		t.Error("Rho(0) produced the default-rho result: zero value swallowed")
+	}
+}
+
+// TestBaseSeedZeroIsHonoured: seed 0 must be a runnable replication base,
+// not an alias for the default base seed 1.
+func TestBaseSeedZeroIsHonoured(t *testing.T) {
+	f, err := FigureByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = shrink(f, []float64{400})
+	tab, err := f.Run(Options{Seeds: 2, BaseSeed: BaseSeed(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := tab.SeriesCells("DMRA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := manualDMRAMeans(t, f, 400, 2, 0, alloc.DefaultDMRAConfig().Rho)
+	if cells[0] != want {
+		t.Errorf("BaseSeed(0) run = %+v, want seed-0 allocation %+v", cells[0], want)
+	}
+	one := manualDMRAMeans(t, f, 400, 2, 1, alloc.DefaultDMRAConfig().Rho)
+	if cells[0] == one {
+		t.Error("BaseSeed(0) produced the base-seed-1 result: zero value swallowed")
+	}
+}
+
+// TestRunValidatesAlgorithmsUpFront: an unknown series name must fail
+// before any replication work, not midway through the grid.
+func TestRunValidatesAlgorithmsUpFront(t *testing.T) {
+	f, err := FigureByID(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = shrink(f, []float64{400})
+	f.Algorithms = []string{"dmra", "bogus"}
+	// Enough seeds that running the grid before erroring would be obvious
+	// in test time; the up-front check makes this return immediately.
+	if _, err := f.Run(Options{Seeds: 1000}); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("err = %v, want unknown-algorithm error naming bogus", err)
+	}
+}

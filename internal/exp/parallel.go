@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across at most parallelism
+// goroutines. parallelism <= 0 means runtime.GOMAXPROCS(0); parallelism 1
+// runs inline with no goroutines (the sequential path).
+//
+// Determinism contract: tasks write only to their own pre-indexed result
+// slot, so callers observe the same data regardless of scheduling. When
+// several tasks fail, the error of the lowest task index is returned —
+// the same error the sequential path would surface first — so the error
+// behavior is schedule-independent too. The parallel path keeps draining
+// the remaining tasks after a failure (tasks are independent by
+// contract); the sequential path stops at the first failure, which by
+// construction is also the lowest-index one.
+func ForEach(parallelism, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -12,50 +12,65 @@ import (
 // messages per UE, and simulated completion time — across UE populations.
 // This quantifies the overhead of executing Alg. 1 as real message
 // exchange (DESIGN.md ablation A4); the matching itself is identical to
-// the synchronous solver's.
+// the synchronous solver's. The (population, seed) grid is fanned across
+// Options.Parallelism workers with pre-indexed result slots, so the table
+// is byte-identical to a sequential run.
 func RunProtocolCosts(opts Options, ueCounts []int) (*metrics.Table, error) {
-	opts = opts.withDefaults()
+	o := opts.resolve()
 	base := workload.Default()
-	if opts.Workload != nil {
-		base = *opts.Workload
+	if o.workload != nil {
+		base = *o.workload
 	}
 	if len(ueCounts) == 0 {
 		ueCounts = []int{200, 400, 600, 800, 1000}
 	}
 
+	// rounds[ni][seed] etc.; each replication owns one slot.
+	rounds := make([][]float64, len(ueCounts))
+	perUE := make([][]float64, len(ueCounts))
+	simMS := make([][]float64, len(ueCounts))
+	for ni := range ueCounts {
+		rounds[ni] = make([]float64, o.seeds)
+		perUE[ni] = make([]float64, o.seeds)
+		simMS[ni] = make([]float64, o.seeds)
+	}
+	err := ForEach(o.parallelism, len(ueCounts)*o.seeds, func(i int) error {
+		ni, seed := i/o.seeds, i%o.seeds
+		n := ueCounts[ni]
+		cfg := base
+		cfg.UEs = n
+		net, err := cfg.Build(o.baseSeed + uint64(seed))
+		if err != nil {
+			return err
+		}
+		pc := protocol.DefaultConfig()
+		pc.DMRA.Rho = o.rho
+		res, err := protocol.Run(net, pc)
+		if err != nil {
+			return fmt.Errorf("exp: protocol costs at %d UEs: %w", n, err)
+		}
+		rounds[ni][seed] = float64(res.Rounds)
+		if n > 0 {
+			perUE[ni][seed] = float64(res.Messages) / float64(n)
+		}
+		simMS[ni][seed] = res.SimTimeS * 1e3
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tab := &metrics.Table{
-		Title:  fmt.Sprintf("Decentralized protocol costs (1 ms latency, %d seeds)", opts.Seeds),
+		Title:  fmt.Sprintf("Decentralized protocol costs (1 ms latency, %d seeds)", o.seeds),
 		XLabel: "ues",
 		YLabel: "cost",
 		Series: []string{"rounds", "msgs/UE", "sim ms"},
 	}
-	for _, n := range ueCounts {
-		cfg := base
-		cfg.UEs = n
-		var rounds, perUE, simMS []float64
-		for seed := 0; seed < opts.Seeds; seed++ {
-			net, err := cfg.Build(opts.BaseSeed + uint64(seed))
-			if err != nil {
-				return nil, err
-			}
-			pc := protocol.DefaultConfig()
-			pc.DMRA.Rho = opts.Rho
-			res, err := protocol.Run(net, pc)
-			if err != nil {
-				return nil, fmt.Errorf("exp: protocol costs at %d UEs: %w", n, err)
-			}
-			rounds = append(rounds, float64(res.Rounds))
-			if n > 0 {
-				perUE = append(perUE, float64(res.Messages)/float64(n))
-			} else {
-				perUE = append(perUE, 0)
-			}
-			simMS = append(simMS, res.SimTimeS*1e3)
-		}
+	for ni, n := range ueCounts {
 		cells := []metrics.Summary{
-			metrics.Summarize(rounds),
-			metrics.Summarize(perUE),
-			metrics.Summarize(simMS),
+			metrics.Summarize(rounds[ni]),
+			metrics.Summarize(perUE[ni]),
+			metrics.Summarize(simMS[ni]),
 		}
 		if err := tab.AddRow(float64(n), cells); err != nil {
 			return nil, err

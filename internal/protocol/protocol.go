@@ -369,18 +369,27 @@ func (r *runner) selectPhase(round int) {
 		if total > bs.remRRB {
 			r.cfg.DMRA.SortByBSPreference(r.net, selected)
 		}
+		trimmed := false
 		for _, req := range selected {
 			ue := &r.net.UEs[req.Link.UE]
-			if bs.remCRU[ue.Service] >= ue.CRUDemand && bs.remRRB >= req.Link.RRBs {
+			fits := bs.remCRU[ue.Service] >= ue.CRUDemand && bs.remRRB >= req.Link.RRBs
+			if !trimmed && fits {
 				bs.remCRU[ue.Service] -= ue.CRUDemand
 				bs.remRRB -= req.Link.RRBs
 				bs.admitted[req.Link.UE] = req.Link
 				r.sendAccept(round, bs, req.Link.UE)
-			} else {
-				// Resources never grow back: this is a permanent
-				// resource reject, the receiver prunes the BS.
-				r.sendReject(round, bs, req.Link.UE)
+				continue
 			}
+			// Alg. 1 lines 22-25 admit strictly in preference order:
+			// the first over-budget request trims everything behind it.
+			trimmed = true
+			// A request the post-admission ledger can no longer fit is
+			// rejected permanently (resources never grow back) and the
+			// receiver prunes the BS; a trimmed-but-feasible request
+			// keeps the BS and retries next round — mirroring the
+			// synchronous solver, where the propose-time feasibility
+			// check makes exactly this distinction one round later.
+			r.sendReject(round, bs, req.Link.UE, !fits)
 		}
 
 		r.broadcast(round, bs)
@@ -403,13 +412,15 @@ func (r *runner) sendAccept(round int, bs *bsAgent, u mec.UEID) {
 	})
 }
 
-// sendReject delivers a permanent resource reject; the UE prunes the BS
-// from its candidate set on receipt.
-func (r *runner) sendReject(round int, bs *bsAgent, u mec.UEID) {
+// sendReject delivers a resource reject. A permanent reject (the BS can
+// no longer fit the request at all) makes the UE prune the BS from its
+// candidate set on receipt; a non-permanent trim reject carries no state
+// change — the UE simply retries from its next broadcast-updated view.
+func (r *runner) sendReject(round int, bs *bsAgent, u mec.UEID, permanent bool) {
 	r.res.Rejects++
 	r.res.Messages++
 	r.trace("reject", round, u, bs.id)
-	if r.lost() {
+	if r.lost() || !permanent {
 		return
 	}
 	agent := r.ues[u]

@@ -176,7 +176,9 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 				if v.Accepted {
 					st.assigned = true
 					st.servedBy = mec.BSID(b)
-				} else {
+				} else if v.Permanent {
+					// A trimmed-but-still-feasible request keeps the BS
+					// as a candidate and may retry next round.
 					dropCandidate(net_, v.UE, st, mec.BSID(b))
 				}
 			}

@@ -89,9 +89,13 @@ type RoundRequest struct {
 // Verdict is a BS's decision on one request.
 type Verdict struct {
 	UE mec.UEID `json:"ue"`
-	// Accepted reports admission; a false value is a permanent resource
-	// reject (the proposer should prune this BS).
+	// Accepted reports admission.
 	Accepted bool `json:"accepted"`
+	// Permanent qualifies a rejection: true means the BS can no longer
+	// fit the request at all (the proposer should prune this BS); false
+	// means the request was merely trimmed behind a more-preferred one
+	// this round (Alg. 1 lines 22-25) and may be retried.
+	Permanent bool `json:"permanent,omitempty"`
 }
 
 // RoundResponse is the BS->coordinator frame: decisions plus the resource

@@ -124,15 +124,22 @@ func (s *BSServer) process(req *RoundRequest) *RoundResponse {
 	if total > s.remRRB {
 		s.sortByPreference(selected)
 	}
+	trimmed := false
 	for _, r := range selected {
-		if s.remCRU[r.Service] >= r.CRUs && s.remRRB >= r.RRBs {
+		fits := s.remCRU[r.Service] >= r.CRUs && s.remRRB >= r.RRBs
+		if !trimmed && fits {
 			s.remCRU[r.Service] -= r.CRUs
 			s.remRRB -= r.RRBs
 			s.admitted[r.UE] = true
 			resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: true})
-		} else {
-			resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: false})
+			continue
 		}
+		// Alg. 1 lines 22-25 admit strictly in preference order: the
+		// first over-budget request trims everything behind it. Only
+		// requests the post-admission ledger can no longer fit at all
+		// are rejected permanently.
+		trimmed = true
+		resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: false, Permanent: !fits})
 	}
 	resp.RemainingCRU = append([]int(nil), s.remCRU...)
 	resp.RemainingRRBs = s.remRRB

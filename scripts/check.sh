@@ -1,0 +1,8 @@
+#!/bin/sh
+# Full verification gate: vet plus the race-enabled test suite, which
+# exercises the parallel experiment engine at several worker counts.
+# Equivalent to `make check`.
+set -eu
+cd "$(dirname "$0")/.."
+go vet ./...
+go test -race ./...
