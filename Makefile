@@ -14,14 +14,19 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the full verification gate: vet plus the race-enabled suite
-# (which exercises the parallel experiment engine across worker counts).
+# check is the full verification gate: vet, the race-enabled suite
+# (which exercises the parallel experiment engine across worker counts),
+# and the telemetry-determinism gate of scripts/check.sh.
 check: vet race
+	./scripts/check.sh obs-determinism
 
+# bench times the experiment engine (plain and instrumented) and appends
+# one baseline line to BENCH_exp.json for cross-PR comparison.
 bench:
-	$(GO) test ./internal/exp/ -bench BenchmarkFigureRun -benchmem -run '^$$'
+	$(GO) test ./internal/exp/ -bench 'BenchmarkFigureRun|BenchmarkFigureRunObserved' -benchmem -run '^$$'
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v
 
-# bench-baseline records sequential-vs-parallel engine timings to
-# BENCH_exp.json for cross-PR comparison.
+# bench-baseline appends only the engine baseline line (no benchmark
+# table) to BENCH_exp.json.
 bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v

@@ -21,14 +21,7 @@ import (
 // and reports reproduction metrics alongside the timing.
 func figurePoint(b *testing.B, cfg workload.Config, algorithm string, rho float64) {
 	b.Helper()
-	nets := make([]*Network, 4)
-	for i := range nets {
-		net, err := cfg.Build(uint64(i + 1))
-		if err != nil {
-			b.Fatal(err)
-		}
-		nets[i] = net
-	}
+	nets := buildNets(b, cfg, 4)
 	var allocator Allocator
 	if algorithm == "dmra" {
 		allocator = alloc.NewDMRA(alloc.DMRAConfig{Rho: rho, SPPriority: true, FuTieBreak: true})
@@ -269,15 +262,22 @@ func BenchmarkNetworkBuild(b *testing.B) {
 	}
 }
 
+// buildNets constructs the fixed per-bench scenario set. Builds are
+// independent, so they fan across the experiment engine's worker pool;
+// each lands in its pre-indexed slot, keeping the set identical to a
+// sequential build.
 func buildNets(b *testing.B, cfg workload.Config, n int) []*Network {
 	b.Helper()
 	nets := make([]*Network, n)
-	for i := range nets {
+	if err := exp.ForEach(0, n, func(i int) error {
 		net, err := cfg.Build(uint64(i + 1))
 		if err != nil {
-			b.Fatal(err)
+			return err
 		}
 		nets[i] = net
+		return nil
+	}); err != nil {
+		b.Fatal(err)
 	}
 	return nets
 }

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	dmra-figures [-fig N] [-seeds 20] [-procs 0] [-out DIR]
+//	             [-obs-addr host:port] [-trace FILE] [-obs-hold 30s]
+//
+// With -obs-addr the replication grid and every DMRA run inside it are
+// observable live (worker utilization, task latency, convergence
+// counters); with and without observability the tables are
+// byte-identical.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"path/filepath"
 
 	"dmra"
+	"dmra/internal/cliobs"
 	"dmra/internal/exp"
 	"dmra/internal/viz"
 )
@@ -59,12 +66,20 @@ func run(args []string) error {
 		protocol  = fs.Bool("protocol", false, "measure decentralized-protocol costs instead of the figures")
 		procs     = fs.Int("procs", 0, "worker goroutines for the replication grid (0 = GOMAXPROCS, 1 = sequential)")
 	)
+	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := exp.Options{Seeds: *seeds, Parallelism: *procs}
+	obsRT, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	opts := exp.Options{Seeds: *seeds, Parallelism: *procs, Obs: obsRT.Rec}
 	if *ablations {
-		return runAblations(opts, *outDir)
+		if err := runAblations(opts, *outDir); err != nil {
+			return err
+		}
+		return obsRT.Close()
 	}
 	if *protocol {
 		tab, err := exp.RunProtocolCosts(opts, nil)
@@ -82,7 +97,7 @@ func run(args []string) error {
 			}
 			fmt.Printf("wrote %s.csv\n", base)
 		}
-		return nil
+		return obsRT.Close()
 	}
 
 	var figures []dmra.Figure
@@ -133,5 +148,5 @@ func run(args []string) error {
 			fmt.Printf("wrote %s.txt and %s.csv\n\n", base, base)
 		}
 	}
-	return nil
+	return obsRT.Close()
 }

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"dmra"
+	"dmra/internal/cliobs"
 	"dmra/internal/metrics"
 	"dmra/internal/viz"
 )
@@ -47,7 +48,12 @@ func run(args []string) error {
 		replicate = fs.Int("replicate", 1, "independent sessions to aggregate (seeds seed..seed+N-1)")
 		procs     = fs.Int("procs", 0, "worker goroutines for replication (0 = GOMAXPROCS, 1 = sequential)")
 	)
+	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obsRT, err := obsFlags.Start()
+	if err != nil {
 		return err
 	}
 
@@ -59,6 +65,7 @@ func run(args []string) error {
 	cfg.Algorithm = *algo
 	cfg.Seed = *seed
 	cfg.RecordSeries = *series
+	cfg.Obs = obsRT.Rec
 	if *pool > 0 {
 		cfg.Scenario.UEs = *pool
 	} else {
@@ -71,7 +78,10 @@ func run(args []string) error {
 	}
 
 	if *replicate > 1 {
-		return runReplicated(cfg, *replicate, *procs)
+		if err := runReplicated(cfg, *replicate, *procs, obsRT.Rec); err != nil {
+			return err
+		}
+		return obsRT.Close()
 	}
 
 	rep, err := dmra.RunOnline(cfg)
@@ -114,18 +124,18 @@ func run(args []string) error {
 			fmt.Println(chart)
 		}
 	}
-	return nil
+	return obsRT.Close()
 }
 
 // runReplicated aggregates n independent sessions (seeds cfg.Seed ..
 // cfg.Seed+n-1) run across procs workers. Each replication writes only
 // its own slot, so the printed summary is independent of scheduling.
-func runReplicated(cfg dmra.OnlineConfig, n, procs int) error {
+func runReplicated(cfg dmra.OnlineConfig, n, procs int, rec *dmra.ObsRecorder) error {
 	edgeRatios := make([]float64, n)
 	profitTimes := make([]float64, n)
 	occupancies := make([]float64, n)
 	concurrents := make([]float64, n)
-	err := dmra.ForEachParallel(procs, n, func(i int) error {
+	err := dmra.ForEachParallelObserved(procs, n, rec, func(i int) error {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)
 		c.RecordSeries = false

@@ -13,6 +13,9 @@
 //	-rho 250            DMRA resource-preference weight (Eq. 17)
 //	-scenario file      load a scenario JSON instead of defaults
 //	-decentralized      run DMRA as message exchange and report costs
+//	-obs-addr host:port serve /metrics, /debug/vars, /debug/pprof live
+//	-trace file         write the typed convergence event stream as JSONL
+//	-obs-hold 30s       keep the debug server up after the run for scraping
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"text/tabwriter"
 
 	"dmra"
+	"dmra/internal/cliobs"
 )
 
 func main() {
@@ -44,7 +48,12 @@ func run(args []string) error {
 		decentralized = fs.Bool("decentralized", false, "run DMRA as message exchange on the event simulator")
 		tcp           = fs.Bool("tcp", false, "run DMRA over real TCP sockets (one server per BS)")
 	)
+	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obsRT, err := obsFlags.Start()
+	if err != nil {
 		return err
 	}
 
@@ -70,32 +79,34 @@ func run(args []string) error {
 	fmt.Println(net.Summarize())
 	fmt.Println()
 
-	if *decentralized {
-		return runDecentralized(net, *rho)
-	}
-	if *tcp {
-		return runTCP(net, *rho)
-	}
-
-	var res dmra.Result
-	if *algo == "dmra" {
-		cfg := dmra.DefaultDMRAConfig()
-		cfg.Rho = *rho
-		res, err = dmra.AllocateDMRA(net, cfg)
-	} else {
-		res, err = dmra.Allocate(net, *algo)
+	switch {
+	case *decentralized:
+		err = runDecentralized(net, *rho, obsRT.Rec)
+	case *tcp:
+		err = runTCP(net, *rho, obsRT.Rec)
+	default:
+		var res dmra.Result
+		if *algo == "dmra" {
+			cfg := dmra.DefaultDMRAConfig()
+			cfg.Rho = *rho
+			res, err = dmra.AllocateDMRAObserved(net, cfg, obsRT.Rec)
+		} else {
+			res, err = dmra.Allocate(net, *algo)
+		}
+		if err == nil {
+			report(net, res)
+		}
 	}
 	if err != nil {
 		return err
 	}
-
-	report(net, res)
-	return nil
+	return obsRT.Close()
 }
 
-func runDecentralized(net *dmra.Network, rho float64) error {
+func runDecentralized(net *dmra.Network, rho float64, rec *dmra.ObsRecorder) error {
 	cfg := dmra.DefaultProtocolConfig()
 	cfg.DMRA.Rho = rho
+	cfg.Obs = rec
 	pres, err := dmra.RunDecentralized(net, cfg)
 	if err != nil {
 		return err
@@ -110,10 +121,10 @@ func runDecentralized(net *dmra.Network, rho float64) error {
 	return nil
 }
 
-func runTCP(net *dmra.Network, rho float64) error {
+func runTCP(net *dmra.Network, rho float64, rec *dmra.ObsRecorder) error {
 	cfg := dmra.DefaultDMRAConfig()
 	cfg.Rho = rho
-	cres, err := dmra.RunCluster(net, cfg)
+	cres, err := dmra.RunClusterObserved(net, cfg, rec)
 	if err != nil {
 		return err
 	}
@@ -124,6 +135,13 @@ func runTCP(net *dmra.Network, rho float64) error {
 	report(net, res)
 	fmt.Printf("tcp cluster: %d rounds, %d frames, %d B sent / %d B received\n",
 		cres.Rounds, cres.Frames, cres.BytesSent, cres.BytesReceived)
+	if rec != nil {
+		// The per-BS byte breakdown belongs to the observability view:
+		// print it only on observed runs to keep default output stable.
+		for b, t := range cres.PerBS {
+			fmt.Printf("  BS %-2d  %6d B sent  %6d B received\n", b, t.BytesSent, t.BytesReceived)
+		}
+	}
 	return nil
 }
 

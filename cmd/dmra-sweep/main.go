@@ -9,6 +9,13 @@
 //
 // Supported parameters: ues, rho, iota, coverage, hotspot-fraction,
 // services. Supported metrics: profit, forwarded, served.
+//
+// The whole (point, seed) replication grid is fanned across -procs
+// workers as one task pool — a sweep with many small points keeps every
+// worker busy instead of draining point by point — and each replication
+// writes only its own pre-indexed slot, so the table is byte-identical
+// to a sequential run. With -obs-addr/-trace the grid and every DMRA
+// replication inside it are observable live.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"strings"
 
 	"dmra"
+	"dmra/internal/cliobs"
+	"dmra/internal/exp"
 	"dmra/internal/metrics"
 )
 
@@ -38,10 +47,15 @@ func run(args []string) error {
 		metric = fs.String("metric", "profit", "measured quantity (profit|forwarded|served|latency)")
 		seeds  = fs.Int("seeds", 10, "independent replications per point")
 		ues    = fs.Int("ues", 800, "UE population (when not swept)")
-		procs  = fs.Int("procs", 0, "worker goroutines per sweep point (0 = GOMAXPROCS, 1 = sequential)")
+		procs  = fs.Int("procs", 0, "worker goroutines for the (point, seed) grid (0 = GOMAXPROCS, 1 = sequential)")
 		csv    = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 	)
+	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	obsRT, err := obsFlags.Start()
+	if err != nil {
 		return err
 	}
 
@@ -57,16 +71,71 @@ func run(args []string) error {
 		}
 	}
 
+	// Resolve every sweep point up front: an unknown parameter must fail
+	// fast, and the grid workers need the per-point scenarios ready.
+	type point struct {
+		scenario dmra.Scenario
+		rho      float64
+	}
+	points := make([]point, len(xs))
+	for xi, x := range xs {
+		scenario, rho, err := pointSetup(*param, x, *ues)
+		if err != nil {
+			return err
+		}
+		points[xi] = point{scenario: scenario, rho: rho}
+	}
+
+	// samples[xi][ai][seed]: each replication of the flattened
+	// (point, seed) grid writes only its own slot.
+	samples := make([][][]float64, len(xs))
+	for xi := range samples {
+		samples[xi] = make([][]float64, len(algorithms))
+		for ai := range samples[xi] {
+			samples[xi][ai] = make([]float64, *seeds)
+		}
+	}
+	err = exp.ForEachObserved(*procs, len(xs)**seeds, obsRT.Rec, func(i int) error {
+		xi, s := i / *seeds, i%*seeds
+		p := points[xi]
+		net, err := dmra.BuildNetwork(p.scenario, uint64(s)+1)
+		if err != nil {
+			return err
+		}
+		for ai, algo := range algorithms {
+			var res dmra.Result
+			if algo == "dmra" {
+				cfg := dmra.DefaultDMRAConfig()
+				cfg.Rho = p.rho
+				res, err = dmra.AllocateDMRAObserved(net, cfg, obsRT.Rec)
+			} else {
+				res, err = dmra.Allocate(net, algo)
+			}
+			if err != nil {
+				return fmt.Errorf("%s at %s=%g: %w", algo, *param, xs[xi], err)
+			}
+			v, err := measure(*metric, net, res)
+			if err != nil {
+				return err
+			}
+			samples[xi][ai][s] = v
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
 	tab := &metrics.Table{
 		Title:  fmt.Sprintf("%s vs %s (%d seeds)", *metric, *param, *seeds),
 		XLabel: *param,
 		YLabel: *metric,
 		Series: algorithms,
 	}
-	for _, x := range xs {
-		cells, err := runPoint(*param, x, algorithms, *metric, *seeds, *ues, *procs)
-		if err != nil {
-			return err
+	for xi, x := range xs {
+		cells := make([]metrics.Summary, len(algorithms))
+		for ai := range cells {
+			cells[ai] = metrics.Summarize(samples[xi][ai])
 		}
 		if err := tab.AddRow(x, cells); err != nil {
 			return err
@@ -78,10 +147,11 @@ func run(args []string) error {
 	} else {
 		fmt.Print(tab.Text())
 	}
-	return nil
+	return obsRT.Close()
 }
 
-func runPoint(param string, x float64, algorithms []string, metric string, seeds, ues, procs int) ([]metrics.Summary, error) {
+// pointSetup resolves one sweep point into its scenario and DMRA rho.
+func pointSetup(param string, x float64, ues int) (dmra.Scenario, float64, error) {
 	scenario := dmra.DefaultScenario()
 	scenario.UEs = ues
 	rho := dmra.DefaultDMRAConfig().Rho
@@ -103,48 +173,9 @@ func runPoint(param string, x float64, algorithms []string, metric string, seeds
 			scenario.ServicesPerBS = scenario.Services
 		}
 	default:
-		return nil, fmt.Errorf("unknown parameter %q", param)
+		return dmra.Scenario{}, 0, fmt.Errorf("unknown parameter %q", param)
 	}
-
-	// samples[ai][seed]: each replication writes only its own slot, so the
-	// summary is byte-identical however the workers are scheduled.
-	samples := make([][]float64, len(algorithms))
-	for ai := range samples {
-		samples[ai] = make([]float64, seeds)
-	}
-	err := dmra.ForEachParallel(procs, seeds, func(s int) error {
-		net, err := dmra.BuildNetwork(scenario, uint64(s)+1)
-		if err != nil {
-			return err
-		}
-		for ai, algo := range algorithms {
-			var res dmra.Result
-			if algo == "dmra" {
-				cfg := dmra.DefaultDMRAConfig()
-				cfg.Rho = rho
-				res, err = dmra.AllocateDMRA(net, cfg)
-			} else {
-				res, err = dmra.Allocate(net, algo)
-			}
-			if err != nil {
-				return fmt.Errorf("%s at %s=%g: %w", algo, param, x, err)
-			}
-			v, err := measure(metric, net, res)
-			if err != nil {
-				return err
-			}
-			samples[ai][s] = v
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	cells := make([]metrics.Summary, len(samples))
-	for i, s := range samples {
-		cells[i] = metrics.Summarize(s)
-	}
-	return cells, nil
+	return scenario, rho, nil
 }
 
 func measure(metric string, net *dmra.Network, res dmra.Result) (float64, error) {

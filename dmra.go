@@ -27,10 +27,13 @@
 package dmra
 
 import (
+	"io"
+
 	"dmra/internal/alloc"
 	"dmra/internal/exp"
 	"dmra/internal/mec"
 	"dmra/internal/metrics"
+	"dmra/internal/obs"
 	"dmra/internal/online"
 	"dmra/internal/opt"
 	"dmra/internal/protocol"
@@ -137,6 +140,14 @@ func AllocateDMRA(net *Network, cfg DMRAConfig) (Result, error) {
 	return runAllocator(net, alloc.NewDMRA(cfg))
 }
 
+// AllocateDMRAObserved is AllocateDMRA with an observability recorder
+// attached: the run streams typed convergence events (round barriers,
+// proposals, verdicts, cloud fallbacks) and per-round residual gauges
+// into rec. A nil recorder behaves exactly like AllocateDMRA.
+func AllocateDMRAObserved(net *Network, cfg DMRAConfig, rec *ObsRecorder) (Result, error) {
+	return runAllocator(net, alloc.NewDMRA(cfg).WithObserver(rec))
+}
+
 // DefaultDMRAConfig returns the paper's algorithm with the calibrated
 // default rho.
 func DefaultDMRAConfig() DMRAConfig {
@@ -198,6 +209,10 @@ func RunDecentralized(net *Network, cfg ProtocolConfig) (ProtocolResult, error) 
 // and byte counts.
 type ClusterResult = wire.ClusterResult
 
+// BSTraffic is the per-BS coordinator-side byte accounting of a cluster
+// run (ClusterResult.PerBS).
+type BSTraffic = wire.BSTraffic
+
 // RunCluster executes DMRA with one real TCP server per base station
 // (framed JSON messaging on loopback). The matching is identical to
 // Allocate(net, "dmra") under the same configuration; the point is
@@ -205,6 +220,14 @@ type ClusterResult = wire.ClusterResult
 // clean shutdown.
 func RunCluster(net *Network, cfg DMRAConfig) (ClusterResult, error) {
 	return wire.RunCluster(net, cfg)
+}
+
+// RunClusterObserved is RunCluster with an observability recorder: the
+// coordinator emits the same typed convergence event stream as the other
+// two runtimes, in deterministic UE/BS order. A nil recorder behaves
+// exactly like RunCluster.
+func RunClusterObserved(net *Network, cfg DMRAConfig, rec *ObsRecorder) (ClusterResult, error) {
+	return wire.RunClusterObserved(net, cfg, rec)
 }
 
 // --- exact optimization ---
@@ -288,6 +311,54 @@ func FigureBaseSeed(v uint64) *uint64 { return exp.BaseSeed(v) }
 // building their own deterministic experiment grids.
 func ForEachParallel(parallelism, n int, fn func(i int) error) error {
 	return exp.ForEach(parallelism, n, fn)
+}
+
+// ForEachParallelObserved is ForEachParallel with grid telemetry: when
+// rec is non-nil every task's wall time lands in the exp_task_seconds
+// histogram and its worker's exp_worker_busy_seconds gauge. Results and
+// errors are identical to ForEachParallel.
+func ForEachParallelObserved(parallelism, n int, rec *ObsRecorder, fn func(i int) error) error {
+	return exp.ForEachObserved(parallelism, n, rec, fn)
+}
+
+// --- observability ---
+
+// ObsRegistry is a dependency-free metrics registry (atomic counters,
+// gauges, fixed-bucket histograms) with Prometheus-text and JSON views.
+type ObsRegistry = obs.Registry
+
+// ObsSink collects the typed convergence event stream: a bounded
+// in-memory ring plus an optional JSONL writer.
+type ObsSink = obs.Sink
+
+// ObsRecorder fans runtime events into a registry and a sink; all three
+// DMRA runtimes and the experiment grid accept one. A nil recorder
+// disables every instrumentation site at the cost of one pointer test.
+type ObsRecorder = obs.Recorder
+
+// ObsEvent is one typed convergence event (see obs.EventKind for the
+// vocabulary shared by the synchronous solver, the message protocol and
+// the TCP cluster).
+type ObsEvent = obs.Event
+
+// NewObsRegistry returns an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsSink returns a trace sink writing JSONL to w (nil = ring only)
+// and retaining the last ringSize events in memory.
+func NewObsSink(w io.Writer, ringSize int) *ObsSink { return obs.NewSink(w, ringSize) }
+
+// NewObsRecorder returns a recorder publishing to reg and sink (either
+// may be nil).
+func NewObsRecorder(reg *ObsRegistry, sink *ObsSink) *ObsRecorder {
+	return obs.NewRecorder(reg, sink)
+}
+
+// StartObsServer serves /metrics, /debug/vars and /debug/pprof/ for the
+// registry on addr (host:port; port 0 picks an ephemeral port) until the
+// returned server is closed.
+func StartObsServer(addr string, reg *ObsRegistry) (*obs.Server, error) {
+	return obs.StartServer(addr, reg)
 }
 
 // Table is a figure's aggregated data with text and CSV renderers.

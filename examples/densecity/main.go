@@ -32,29 +32,46 @@ func main() {
 	type agg struct {
 		profit, served, own, fwd float64
 	}
-	totals := make(map[string]*agg, len(algorithms))
-	for _, a := range algorithms {
-		totals[a] = &agg{}
+	// One slot per (seed, algorithm) cell; the seeds fan across the
+	// experiment worker pool and each replication writes only its own
+	// slots, so the aggregation below is order-independent of scheduling.
+	cells := make([][]agg, seeds)
+	for s := range cells {
+		cells[s] = make([]agg, len(algorithms))
 	}
-
-	for seed := uint64(1); seed <= seeds; seed++ {
-		net, err := dmra.BuildNetwork(scenario, seed)
+	if err := dmra.ForEachParallel(0, seeds, func(s int) error {
+		net, err := dmra.BuildNetwork(scenario, uint64(s)+1)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		for _, algo := range algorithms {
+		for ai, algo := range algorithms {
 			res, err := dmra.Allocate(net, algo)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			t := totals[algo]
-			t.profit += res.Profit.TotalProfit()
-			t.served += float64(res.Profit.ServedUEs())
-			t.fwd += res.Profit.ForwardedTrafficBps / 1e6
+			t := &cells[s][ai]
+			t.profit = res.Profit.TotalProfit()
+			t.served = float64(res.Profit.ServedUEs())
+			t.fwd = res.Profit.ForwardedTrafficBps / 1e6
 			for _, p := range res.Profit.PerSP {
 				t.own += float64(p.OwnBSUEs)
 			}
 		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	totals := make(map[string]*agg, len(algorithms))
+	for ai, algo := range algorithms {
+		t := &agg{}
+		for s := 0; s < seeds; s++ {
+			c := cells[s][ai]
+			t.profit += c.profit
+			t.served += c.served
+			t.own += c.own
+			t.fwd += c.fwd
+		}
+		totals[algo] = t
 	}
 
 	fmt.Printf("rush-hour city centre: %d UEs, 3 hotspots, Zipf services, %d seeds\n\n",

@@ -20,23 +20,33 @@ func main() {
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "load (UE/s)\talgo\tmean active\tedge ratio\tRRB occupancy\tprofit-time\t")
-	for _, rate := range []float64{2, 5, 8} {
-		for _, algo := range []string{"dmra", "nonco"} {
-			cfg := dmra.DefaultOnlineConfig()
-			cfg.ArrivalRate = rate
-			cfg.MeanHoldS = 90
-			cfg.DurationS = 300
-			cfg.Algorithm = algo
-			cfg.Scenario.UEs = 2000 // concurrent-population bound
+	rates := []float64{2, 5, 8}
+	algos := []string{"dmra", "nonco"}
+	// The six sessions are independent; fan them across the experiment
+	// worker pool, each writing only its pre-indexed report slot, and
+	// print in fixed (rate, algo) order afterwards.
+	reports := make([]dmra.OnlineReport, len(rates)*len(algos))
+	if err := dmra.ForEachParallel(0, len(reports), func(i int) error {
+		cfg := dmra.DefaultOnlineConfig()
+		cfg.ArrivalRate = rates[i/len(algos)]
+		cfg.MeanHoldS = 90
+		cfg.DurationS = 300
+		cfg.Algorithm = algos[i%len(algos)]
+		cfg.Scenario.UEs = 2000 // concurrent-population bound
 
-			rep, err := dmra.RunOnline(cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Fprintf(w, "%.0f\t%s\t%.0f\t%.0f%%\t%.0f%%\t%.0f\t\n",
-				rate, algo, rep.MeanConcurrent, 100*rep.EdgeRatio(),
-				100*rep.MeanOccupancyRRB, rep.ProfitTime)
+		rep, err := dmra.RunOnline(cfg)
+		if err != nil {
+			return err
 		}
+		reports[i] = rep
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for i, rep := range reports {
+		fmt.Fprintf(w, "%.0f\t%s\t%.0f\t%.0f%%\t%.0f%%\t%.0f\t\n",
+			rates[i/len(algos)], algos[i%len(algos)], rep.MeanConcurrent,
+			100*rep.EdgeRatio(), 100*rep.MeanOccupancyRRB, rep.ProfitTime)
 	}
 	w.Flush()
 

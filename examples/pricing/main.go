@@ -27,31 +27,51 @@ func iotaStudy() {
 	fmt.Println("== iota study: what the cross-SP markup does (1000 UEs) ==")
 	w := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintln(w, "iota\tDMRA profit\town-BS share\tNonCo profit\tDMRA advantage\t")
-	for _, iota := range []float64{1.1, 1.5, 2.0, 3.0} {
+	iotas := []float64{1.1, 1.5, 2.0, 3.0}
+	// One slot per (iota, seed) replication; the flattened grid fans
+	// across the experiment worker pool and the per-seed sums below run
+	// in fixed order, so the table matches a sequential run exactly.
+	type cell struct{ dmraProfit, nonco, own, served float64 }
+	cells := make([][]cell, len(iotas))
+	for ii := range cells {
+		cells[ii] = make([]cell, seeds)
+	}
+	if err := dmra.ForEachParallel(0, len(iotas)*seeds, func(i int) error {
+		ii, s := i/seeds, i%seeds
 		scenario := dmra.DefaultScenario()
 		scenario.UEs = 1000
-		scenario.Pricing.CrossSPFactor = iota
-
+		scenario.Pricing.CrossSPFactor = iotas[ii]
+		net, err := dmra.BuildNetwork(scenario, uint64(s)+1)
+		if err != nil {
+			return err
+		}
+		res, err := dmra.Allocate(net, "dmra")
+		if err != nil {
+			return err
+		}
+		c := &cells[ii][s]
+		c.dmraProfit = res.Profit.TotalProfit()
+		c.served = float64(res.Profit.ServedUEs())
+		for _, p := range res.Profit.PerSP {
+			c.own += float64(p.OwnBSUEs)
+		}
+		resN, err := dmra.Allocate(net, "nonco")
+		if err != nil {
+			return err
+		}
+		c.nonco = resN.Profit.TotalProfit()
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for ii, iota := range iotas {
 		var dmraProfit, nonco, own, served float64
-		for seed := uint64(1); seed <= seeds; seed++ {
-			net, err := dmra.BuildNetwork(scenario, seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := dmra.Allocate(net, "dmra")
-			if err != nil {
-				log.Fatal(err)
-			}
-			dmraProfit += res.Profit.TotalProfit()
-			served += float64(res.Profit.ServedUEs())
-			for _, p := range res.Profit.PerSP {
-				own += float64(p.OwnBSUEs)
-			}
-			resN, err := dmra.Allocate(net, "nonco")
-			if err != nil {
-				log.Fatal(err)
-			}
-			nonco += resN.Profit.TotalProfit()
+		for s := 0; s < seeds; s++ {
+			c := cells[ii][s]
+			dmraProfit += c.dmraProfit
+			nonco += c.nonco
+			own += c.own
+			served += c.served
 		}
 		fmt.Fprintf(w, "%.1f\t%.0f\t%.0f%%\t%.0f\t%+.0f%%\t\n",
 			iota, dmraProfit/seeds, 100*own/served, nonco/seeds,
@@ -69,22 +89,40 @@ func rhoStudy() {
 	fmt.Fprintln(w, "rho\tprofit\tserved\tforwarded Mbps\t")
 	scenario := dmra.DefaultScenario()
 	scenario.UEs = 1000
-	for _, rho := range []float64{0, 250, 500, 1000, 2000} {
+	rhos := []float64{0, 250, 500, 1000, 2000}
+	type cell struct{ profit, served, fwd float64 }
+	cells := make([][]cell, len(rhos))
+	for ri := range cells {
+		cells[ri] = make([]cell, seeds)
+	}
+	if err := dmra.ForEachParallel(0, len(rhos)*seeds, func(i int) error {
+		ri, s := i/seeds, i%seeds
+		net, err := dmra.BuildNetwork(scenario, uint64(s)+1)
+		if err != nil {
+			return err
+		}
+		cfg := dmra.DefaultDMRAConfig()
+		cfg.Rho = rhos[ri]
+		res, err := dmra.AllocateDMRA(net, cfg)
+		if err != nil {
+			return err
+		}
+		cells[ri][s] = cell{
+			profit: res.Profit.TotalProfit(),
+			served: float64(res.Profit.ServedUEs()),
+			fwd:    res.Profit.ForwardedTrafficBps / 1e6,
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for ri, rho := range rhos {
 		var profit, served, fwd float64
-		for seed := uint64(1); seed <= seeds; seed++ {
-			net, err := dmra.BuildNetwork(scenario, seed)
-			if err != nil {
-				log.Fatal(err)
-			}
-			cfg := dmra.DefaultDMRAConfig()
-			cfg.Rho = rho
-			res, err := dmra.AllocateDMRA(net, cfg)
-			if err != nil {
-				log.Fatal(err)
-			}
-			profit += res.Profit.TotalProfit()
-			served += float64(res.Profit.ServedUEs())
-			fwd += res.Profit.ForwardedTrafficBps / 1e6
+		for s := 0; s < seeds; s++ {
+			c := cells[ri][s]
+			profit += c.profit
+			served += c.served
+			fwd += c.fwd
 		}
 		fmt.Fprintf(w, "%.0f\t%.0f\t%.0f\t%.0f\t\n", rho, profit/seeds, served/seeds, fwd/seeds)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"dmra/internal/mec"
+	"dmra/internal/obs"
 )
 
 // DMRAConfig parameterizes the DMRA scheme. The ablation switches exist to
@@ -130,6 +131,7 @@ func (c DMRAConfig) bsPrefers(net *mec.Network, a, b Request) bool {
 // assignments.
 type DMRA struct {
 	cfg DMRAConfig
+	obs *obs.Recorder
 }
 
 var _ Allocator = (*DMRA)(nil)
@@ -137,6 +139,15 @@ var _ Allocator = (*DMRA)(nil)
 // NewDMRA returns a DMRA allocator with the given configuration.
 func NewDMRA(cfg DMRAConfig) *DMRA {
 	return &DMRA{cfg: cfg}
+}
+
+// WithObserver attaches an observability recorder and returns the
+// allocator for chaining. A nil recorder (the default) keeps Allocate
+// allocation-free on the hot path: every instrumentation site is behind
+// one pointer test.
+func (d *DMRA) WithObserver(rec *obs.Recorder) *DMRA {
+	d.obs = rec
+	return d
 }
 
 // Name implements Allocator.
@@ -162,6 +173,9 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 
 	for {
 		stats.Iterations++
+		if d.obs != nil {
+			d.obs.Event(obs.KindRound, stats.Iterations, -1, -1)
+		}
 
 		// --- Propose phase (Alg. 1 lines 3-10) ---
 		anyRequest := false
@@ -170,6 +184,7 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 			if state.Assigned(uid) {
 				continue
 			}
+			proposed := false
 			for !cands.empty(uid) {
 				pos, link, ok := d.bestCandidate(state, cands, uid)
 				if !ok {
@@ -182,11 +197,18 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 					})
 					stats.Proposals++
 					anyRequest = true
+					proposed = true
+					if d.obs != nil {
+						d.obs.Event(obs.KindPropose, stats.Iterations, u, int(link.BS))
+					}
 					break
 				}
 				// Resources never grow back: drop the BS permanently
 				// (Alg. 1 line 10).
 				cands.dropIdx(uid, pos)
+			}
+			if !proposed && d.obs != nil {
+				d.obs.Event(obs.KindCloudFallback, stats.Iterations, u, int(mec.CloudBS))
 			}
 		}
 		if !anyRequest {
@@ -202,6 +224,9 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 			inbox[b] = nil
 			selected := d.cfg.SelectPerService(net, reqs)
 			d.admit(state, selected, &stats)
+		}
+		if d.obs != nil {
+			d.observeRound(net, state)
 		}
 
 		if stats.Iterations > len(net.UEs)+1 {
@@ -258,10 +283,41 @@ func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) {
 	for i, r := range selected {
 		if err := state.Assign(r.Link.UE, r.Link.BS); err != nil {
 			stats.Rejects += len(selected) - i
+			if d.obs != nil {
+				// The whole trimmed tail retries next iteration; the
+				// propose-time feasibility check there decides whether the
+				// reject turns permanent (mirrors the runtimes' split).
+				for _, t := range selected[i:] {
+					d.obs.Event(obs.KindRejectTrim, stats.Iterations, int(t.Link.UE), int(t.Link.BS))
+				}
+			}
 			return
 		}
 		stats.Accepts++
+		if d.obs != nil {
+			d.obs.Event(obs.KindAccept, stats.Iterations, int(r.Link.UE), int(r.Link.BS))
+		}
 	}
+}
+
+// observeRound publishes the per-round gauges: residual capacity per BS
+// (CRUs summed over services, RRBs) and the unmatched-UE count. Called
+// once per select phase, only when an observer is attached.
+func (d *DMRA) observeRound(net *mec.Network, state *mec.State) {
+	for b := range net.BSs {
+		crus := 0
+		for j := 0; j < net.Services; j++ {
+			crus += state.RemainingCRU(mec.BSID(b), mec.ServiceID(j))
+		}
+		d.obs.Residual(b, crus, state.RemainingRRBs(mec.BSID(b)))
+	}
+	unmatched := 0
+	for u := range net.UEs {
+		if !state.Assigned(mec.UEID(u)) {
+			unmatched++
+		}
+	}
+	d.obs.Unmatched(unmatched)
 }
 
 // filterRequests returns the requests satisfying keep.

@@ -120,7 +120,7 @@ func RunAblations(opts Options) (*AblationTable, error) {
 		serveds[vi] = make([]float64, o.seeds)
 		ownShares[vi] = make([]float64, o.seeds)
 	}
-	err := ForEach(o.parallelism, len(variants)*o.seeds, func(i int) error {
+	err := ForEachObserved(o.parallelism, len(variants)*o.seeds, o.obs, func(i int) error {
 		vi, seed := i/o.seeds, i%o.seeds
 		net, err := cfg.Build(o.baseSeed + uint64(seed))
 		if err != nil {

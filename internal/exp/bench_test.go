@@ -2,9 +2,13 @@ package exp
 
 import (
 	"encoding/json"
+	"io"
 	"os"
 	"runtime"
 	"testing"
+	"time"
+
+	"dmra/internal/obs"
 )
 
 // benchFigure is a trimmed Fig. 2: two populations, all three algorithms,
@@ -29,14 +33,36 @@ func benchRun(b *testing.B, parallelism int) {
 	}
 }
 
+// benchRunObserved is benchRun with the full observability stack
+// attached: registry, JSONL-less sink, recorder. Comparing it against
+// BenchmarkFigureRun quantifies the instrumentation overhead on a
+// figure-sized workload.
+func benchRunObserved(b *testing.B, parallelism int) {
+	f := benchFigure(b)
+	rec := obs.NewRecorder(obs.NewRegistry(), obs.NewSink(io.Discard, 256))
+	opts := Options{Seeds: 4, Parallelism: parallelism, Obs: rec}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Run(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFigureRun(b *testing.B) {
 	b.Run("procs=1", func(b *testing.B) { benchRun(b, 1) })
 	b.Run("procs=max", func(b *testing.B) { benchRun(b, runtime.GOMAXPROCS(0)) })
 }
 
-// TestWriteBenchBaseline captures the sequential-vs-parallel engine
-// baseline to the JSON file named by BENCH_BASELINE (skipped when unset).
-// Run it via `make bench-baseline`.
+func BenchmarkFigureRunObserved(b *testing.B) {
+	b.Run("procs=1", func(b *testing.B) { benchRunObserved(b, 1) })
+	b.Run("procs=max", func(b *testing.B) { benchRunObserved(b, runtime.GOMAXPROCS(0)) })
+}
+
+// TestWriteBenchBaseline appends the sequential-vs-parallel engine
+// baseline as one compact JSON line to the file named by BENCH_BASELINE
+// (skipped when unset), so successive runs accumulate a comparable
+// history instead of overwriting each other. Run it via `make bench`.
 func TestWriteBenchBaseline(t *testing.T) {
 	path := os.Getenv("BENCH_BASELINE")
 	if path == "" {
@@ -45,6 +71,7 @@ func TestWriteBenchBaseline(t *testing.T) {
 	seq := testing.Benchmark(func(b *testing.B) { benchRun(b, 1) })
 	par := testing.Benchmark(func(b *testing.B) { benchRun(b, runtime.GOMAXPROCS(0)) })
 	baseline := map[string]any{
+		"time":                 time.Now().UTC().Format(time.RFC3339),
 		"benchmark":            "BenchmarkFigureRun (fig2, 2 x-values, 3 algorithms, 4 seeds)",
 		"gomaxprocs":           runtime.GOMAXPROCS(0),
 		"sequential_ns_op":     seq.NsPerOp(),
@@ -55,13 +82,18 @@ func TestWriteBenchBaseline(t *testing.T) {
 		"allocs_op_sequential": seq.AllocsPerOp(),
 		"allocs_op_parallel":   par.AllocsPerOp(),
 	}
-	data, err := json.MarshalIndent(baseline, "", "  ")
+	data, err := json.Marshal(baseline)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: seq=%dns/op par=%dns/op speedup=%.2fx",
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended to %s: seq=%dns/op par=%dns/op speedup=%.2fx",
 		path, seq.NsPerOp(), par.NsPerOp(), baseline["speedup"])
 }

@@ -10,6 +10,7 @@ import (
 	"dmra/internal/alloc"
 	"dmra/internal/mec"
 	"dmra/internal/metrics"
+	"dmra/internal/obs"
 	"dmra/internal/workload"
 )
 
@@ -130,6 +131,12 @@ type Options struct {
 	// replication grid. 0 (the default) uses GOMAXPROCS; 1 forces the
 	// sequential path. The output table is byte-identical regardless.
 	Parallelism int
+	// Obs, when non-nil, receives run telemetry: per-task latency and
+	// per-worker busy-time from the replication grid, plus the DMRA
+	// convergence counters (rounds, proposals, accepts, rejects) from
+	// every DMRA replication. Telemetry never alters the result table —
+	// runs with and without Obs produce byte-identical output.
+	Obs *obs.Recorder
 }
 
 // Rho wraps an explicit rho for Options.Rho, distinguishing "rho = 0"
@@ -148,6 +155,7 @@ type resolved struct {
 	rho         float64
 	parallelism int
 	workload    *workload.Config
+	obs         *obs.Recorder
 }
 
 func (o Options) resolve() resolved {
@@ -157,6 +165,7 @@ func (o Options) resolve() resolved {
 		rho:         alloc.DefaultDMRAConfig().Rho,
 		parallelism: o.Parallelism,
 		workload:    o.Workload,
+		obs:         o.Obs,
 	}
 	if r.seeds <= 0 {
 		r.seeds = 20
@@ -207,7 +216,7 @@ func (f Figure) Run(opts Options) (*metrics.Table, error) {
 		}
 		allocators := make([]alloc.Allocator, len(f.Algorithms))
 		for ai, name := range f.Algorithms {
-			a, err := allocatorFor(name, dmraCfg)
+			a, err := allocatorFor(name, dmraCfg, o.obs)
 			if err != nil {
 				return nil, err
 			}
@@ -226,7 +235,7 @@ func (f Figure) Run(opts Options) (*metrics.Table, error) {
 			samples[xi][ai] = make([]float64, o.seeds)
 		}
 	}
-	err := ForEach(o.parallelism, len(points)*o.seeds, func(i int) error {
+	err := ForEachObserved(o.parallelism, len(points)*o.seeds, o.obs, func(i int) error {
 		xi, seed := i/o.seeds, i%o.seeds
 		p := points[xi]
 		x := f.XValues[xi]
@@ -290,10 +299,11 @@ func measure(m Metric, net *mec.Network, a mec.Assignment) (float64, error) {
 }
 
 // allocatorFor instantiates the named algorithm, honouring the sweep's
-// DMRA configuration.
-func allocatorFor(name string, dmraCfg alloc.DMRAConfig) (alloc.Allocator, error) {
+// DMRA configuration. A non-nil recorder is attached to DMRA instances
+// only — the reference algorithms have no convergence protocol to trace.
+func allocatorFor(name string, dmraCfg alloc.DMRAConfig, rec *obs.Recorder) (alloc.Allocator, error) {
 	if name == "dmra" {
-		return alloc.NewDMRA(dmraCfg), nil
+		return alloc.NewDMRA(dmraCfg).WithObserver(rec), nil
 	}
 	return alloc.ByName(name)
 }

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"dmra/internal/obs"
 )
 
 // ForEach runs fn(i) for every i in [0, n) across at most parallelism
@@ -19,6 +22,16 @@ import (
 // contract); the sequential path stops at the first failure, which by
 // construction is also the lowest-index one.
 func ForEach(parallelism, n int, fn func(i int) error) error {
+	return ForEachObserved(parallelism, n, nil, fn)
+}
+
+// ForEachObserved is ForEach with per-task telemetry: when rec is non-nil,
+// every task's wall time lands in the exp_task_seconds histogram and
+// accumulates into its worker's exp_worker_busy_seconds gauge, exposing
+// grid utilization and task-latency spread. A nil recorder adds no timing
+// work, so ForEach pays nothing for the hook. Telemetry never changes
+// which slot a task writes or which error is returned.
+func ForEachObserved(parallelism, n int, rec *obs.Recorder, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -28,9 +41,18 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 	if parallelism > n {
 		parallelism = n
 	}
+	run := func(worker, i int) error { return fn(i) }
+	if rec != nil {
+		run = func(worker, i int) error {
+			start := time.Now()
+			err := fn(i)
+			rec.TaskDone(worker, time.Since(start).Seconds())
+			return err
+		}
+	}
 	if parallelism == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(0, i); err != nil {
 				return err
 			}
 		}
@@ -41,6 +63,7 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -49,7 +72,7 @@ func ForEach(parallelism, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = run(w, i)
 			}
 		}()
 	}

@@ -34,7 +34,7 @@ func RunProtocolCosts(opts Options, ueCounts []int) (*metrics.Table, error) {
 		perUE[ni] = make([]float64, o.seeds)
 		simMS[ni] = make([]float64, o.seeds)
 	}
-	err := ForEach(o.parallelism, len(ueCounts)*o.seeds, func(i int) error {
+	err := ForEachObserved(o.parallelism, len(ueCounts)*o.seeds, o.obs, func(i int) error {
 		ni, seed := i/o.seeds, i%o.seeds
 		n := ueCounts[ni]
 		cfg := base
@@ -45,6 +45,7 @@ func RunProtocolCosts(opts Options, ueCounts []int) (*metrics.Table, error) {
 		}
 		pc := protocol.DefaultConfig()
 		pc.DMRA.Rho = o.rho
+		pc.Obs = o.obs
 		res, err := protocol.Run(net, pc)
 		if err != nil {
 			return fmt.Errorf("exp: protocol costs at %d UEs: %w", n, err)

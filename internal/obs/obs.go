@@ -1,0 +1,351 @@
+// Package obs is the runtime observability layer: a dependency-free
+// metrics registry (atomic counters, gauges, and fixed-bucket histograms
+// with Prometheus-text and JSON exporters), a structured convergence-trace
+// sink (JSONL writer plus a bounded in-memory ring), and an optional debug
+// HTTP server exposing /metrics, /debug/vars, and net/http/pprof.
+//
+// Every entry point is nil-safe: methods on a nil *Registry, *Counter,
+// *Gauge, *Histogram, *Sink, or *Recorder are no-ops that allocate
+// nothing, so instrumented hot paths cost a single pointer test when
+// observability is disabled. All instruments are safe for concurrent use.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add increases the counter by d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 metric that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add increases the gauge by d (negative d decreases it). No-op on nil.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Buckets are
+// cumulative-upper-bound style, as Prometheus expects: counts[i] tallies
+// observations <= bounds[i], with one extra implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    Gauge
+	count  atomic.Int64
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// DefaultLatencyBuckets spans 10 microseconds to ~40 seconds in powers of
+// four, a reasonable default for task and allocation latencies in seconds.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2, 4.096e-2, 0.16384, 0.65536, 2.62144, 10.48576, 41.94304}
+}
+
+// Registry holds named metrics. The zero value is not usable; construct
+// with NewRegistry. A nil *Registry hands out nil instruments, whose
+// methods are all no-ops, so "no registry" disables metric collection
+// everywhere downstream without further checks.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Label formats a metric name with label pairs in Prometheus text form,
+// e.g. Label("dmra_bs_residual_rrbs", "bs", "3") ==
+// `dmra_bs_residual_rrbs{bs="3"}`. Pairs must come in key, value order.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns nil (a no-op counter).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil registry
+// returns nil (a no-op gauge).
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (bounds are ignored for an existing histogram).
+// A nil registry returns nil (a no-op histogram).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		sorted := append([]float64(nil), bounds...)
+		sort.Float64s(sorted)
+		h = &Histogram{bounds: sorted, counts: make([]atomic.Int64, len(sorted)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// baseName strips a {label} suffix so labeled series of one metric share a
+// # TYPE header.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format, sorted by name for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	typed := make(map[string]string) // base name -> TYPE already emitted
+	emitType := func(name, kind string) string {
+		base := baseName(name)
+		if typed[base] == kind {
+			return ""
+		}
+		typed[base] = kind
+		return fmt.Sprintf("# TYPE %s %s\n", base, kind)
+	}
+
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", emitType(name, "counter"), name, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s%s %g\n", emitType(name, "gauge"), name, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.histograms[name]
+		if s := emitType(name, "histogram"); s != "" {
+			if _, err := io.WriteString(w, s); err != nil {
+				return err
+			}
+		}
+		cum := int64(0)
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s %d\n", Label(name+"_bucket", "le", fmt.Sprintf("%g", bound)), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s %d\n%s_sum %g\n%s_count %d\n",
+			Label(name+"_bucket", "le", "+Inf"), cum, name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders every metric as one JSON object (the /debug/vars
+// view): counters and gauges map name -> value; histograms map name ->
+// {count, sum}. Keys are sorted for deterministic output.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+
+	type entry struct {
+		name, body string
+	}
+	entries := make([]entry, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		entries = append(entries, entry{name, fmt.Sprintf("%d", c.Value())})
+	}
+	for name, g := range r.gauges {
+		entries = append(entries, entry{name, fmt.Sprintf("%g", g.Value())})
+	}
+	for name, h := range r.histograms {
+		entries = append(entries, entry{name, fmt.Sprintf(`{"count":%d,"sum":%g}`, h.Count(), h.Sum())})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].name < entries[b].name })
+
+	if _, err := io.WriteString(w, "{"); err != nil {
+		return err
+	}
+	for i, e := range entries {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s\n  %q: %s", sep, e.name, e.body); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n}\n")
+	return err
+}

@@ -1,0 +1,126 @@
+package obs
+
+import "strconv"
+
+// Recorder is what instrumented code holds: it fans each protocol event
+// into the metrics registry (counters split by kind) and the trace sink,
+// and maintains the per-round gauges (per-BS residual capacity, unmatched
+// UEs). Either half may be nil; a nil *Recorder disables everything at the
+// cost of one pointer test per call site.
+type Recorder struct {
+	reg  *Registry
+	sink *Sink
+
+	rounds     *Counter
+	proposals  *Counter
+	accepts    *Counter
+	rejPerm    *Counter
+	rejTrim    *Counter
+	cloud      *Counter
+	broadcasts *Counter
+
+	unmatched *Gauge
+	taskHist  *Histogram
+}
+
+// NewRecorder bundles a registry and a trace sink (either may be nil; a
+// fully-nil recorder is better expressed as a nil *Recorder).
+func NewRecorder(reg *Registry, sink *Sink) *Recorder {
+	return &Recorder{
+		reg:        reg,
+		sink:       sink,
+		rounds:     reg.Counter("dmra_rounds_total"),
+		proposals:  reg.Counter("dmra_proposals_total"),
+		accepts:    reg.Counter("dmra_accepts_total"),
+		rejPerm:    reg.Counter(Label("dmra_rejects_total", "type", "permanent")),
+		rejTrim:    reg.Counter(Label("dmra_rejects_total", "type", "trim")),
+		cloud:      reg.Counter("dmra_cloud_fallbacks_total"),
+		broadcasts: reg.Counter("dmra_broadcasts_total"),
+		unmatched:  reg.Gauge("dmra_unmatched_ues"),
+		taskHist:   reg.Histogram("exp_task_seconds", DefaultLatencyBuckets()),
+	}
+}
+
+// Registry returns the recorder's metrics registry (nil when metrics are
+// disabled).
+func (r *Recorder) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Sink returns the recorder's trace sink (nil when tracing is disabled).
+func (r *Recorder) Sink() *Sink {
+	if r == nil {
+		return nil
+	}
+	return r.sink
+}
+
+// Event records one protocol action at simulated time 0.
+func (r *Recorder) Event(kind EventKind, round, ue, bs int) {
+	r.EventAt(0, kind, round, ue, bs)
+}
+
+// EventAt records one protocol action with a simulated timestamp. No-op on
+// a nil recorder.
+func (r *Recorder) EventAt(timeS float64, kind EventKind, round, ue, bs int) {
+	if r == nil {
+		return
+	}
+	switch kind {
+	case KindRound:
+		r.rounds.Inc()
+	case KindPropose:
+		r.proposals.Inc()
+	case KindAccept:
+		r.accepts.Inc()
+	case KindRejectPermanent:
+		r.rejPerm.Inc()
+	case KindRejectTrim:
+		r.rejTrim.Inc()
+	case KindCloudFallback:
+		r.cloud.Inc()
+	case KindBroadcast:
+		r.broadcasts.Inc()
+	}
+	r.sink.Emit(Event{Kind: kind, Round: round, UE: ue, BS: bs, TimeS: timeS})
+}
+
+// Residual updates BS bs's per-round residual-capacity gauges: remaining
+// CRUs summed over services, and remaining RRBs. The gauges are resolved
+// through the registry on every call — this path runs once per BS per
+// round, never per message, so the lookup cost stays off the hot path
+// while keeping the recorder safe for concurrent replications. No-op on a
+// nil recorder.
+func (r *Recorder) Residual(bs, crus, rrbs int) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	id := strconv.Itoa(bs)
+	r.reg.Gauge(Label("dmra_bs_residual_crus", "bs", id)).Set(float64(crus))
+	r.reg.Gauge(Label("dmra_bs_residual_rrbs", "bs", id)).Set(float64(rrbs))
+}
+
+// Unmatched updates the count of UEs not yet matched to a BS this round.
+func (r *Recorder) Unmatched(n int) {
+	if r == nil {
+		return
+	}
+	r.unmatched.Set(float64(n))
+}
+
+// TaskDone records one experiment-grid task: its latency lands in the
+// exp_task_seconds histogram and the worker's busy-time gauge, from which
+// per-worker utilization can be read off. No-op on a nil recorder.
+func (r *Recorder) TaskDone(worker int, seconds float64) {
+	if r == nil {
+		return
+	}
+	r.taskHist.Observe(seconds)
+	if r.reg == nil {
+		return
+	}
+	r.reg.Gauge(Label("exp_worker_busy_seconds", "worker", strconv.Itoa(worker))).Add(seconds)
+}

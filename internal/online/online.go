@@ -20,6 +20,7 @@ import (
 
 	"dmra/internal/alloc"
 	"dmra/internal/mec"
+	"dmra/internal/obs"
 	"dmra/internal/rng"
 	"dmra/internal/sim"
 	"dmra/internal/workload"
@@ -50,6 +51,10 @@ type Config struct {
 	// RecordSeries captures a per-epoch sample of the session state in
 	// Report.Series (off by default to keep reports small).
 	RecordSeries bool
+	// Obs, when non-nil and Algorithm == "dmra", streams every epoch's
+	// DMRA convergence events and counters to the recorder. Nil (the
+	// default) adds no per-epoch work and the report is identical.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns a moderately loaded dynamic session over the
@@ -453,7 +458,7 @@ func (s *session) scheduleDeparture(u mec.UEID, hold float64) {
 
 func allocatorFor(cfg Config) (alloc.Allocator, error) {
 	if cfg.Algorithm == "dmra" {
-		return alloc.NewDMRA(cfg.DMRA), nil
+		return alloc.NewDMRA(cfg.DMRA).WithObserver(cfg.Obs), nil
 	}
 	return alloc.ByName(cfg.Algorithm)
 }

@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"errors"
+	"testing"
+
+	"dmra/internal/alloc"
+	"dmra/internal/obs"
+)
+
+// TestObsCountersMatchResult cross-checks the typed observability stream
+// against the protocol's own accounting: every counter the recorder
+// derives from events must equal the corresponding Result field, and the
+// reject split must sum to the total.
+func TestObsCountersMatchResult(t *testing.T) {
+	net := buildNet(t, 250, 3)
+	reg := obs.NewRegistry()
+	sink := obs.NewSink(nil, 1<<16)
+	cfg := DefaultConfig()
+	cfg.Obs = obs.NewRecorder(reg, sink)
+	res, err := Run(net, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"dmra_rounds_total":     int64(res.Rounds),
+		"dmra_proposals_total":  int64(res.Requests),
+		"dmra_accepts_total":    int64(res.Accepts),
+		"dmra_broadcasts_total": int64(res.Broadcasts),
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	perm := reg.Counter(obs.Label("dmra_rejects_total", "type", "permanent")).Value()
+	trim := reg.Counter(obs.Label("dmra_rejects_total", "type", "trim")).Value()
+	if perm+trim != int64(res.Rejects) {
+		t.Errorf("reject split %d+%d != rejects %d", perm, trim, res.Rejects)
+	}
+	if sink.Total() == 0 {
+		t.Error("sink saw no events")
+	}
+}
+
+// TestErrDidNotQuiesceThroughSink pins the failure-path contract: when
+// the protocol aborts on its round bound, the error still wraps
+// ErrDidNotQuiesce and the trace sink has already captured the partial
+// round-1 stream — the observability layer never swallows or reorders a
+// failed run's evidence.
+func TestErrDidNotQuiesceThroughSink(t *testing.T) {
+	net := buildNet(t, 300, 2)
+	sink := obs.NewSink(nil, 1<<16)
+	cfg := Config{DMRA: alloc.DefaultDMRAConfig(), LatencyS: 1e-3, MaxRounds: 1}
+	cfg.Obs = obs.NewRecorder(obs.NewRegistry(), sink)
+	_, err := Run(net, cfg)
+	if !errors.Is(err, ErrDidNotQuiesce) {
+		t.Fatalf("err = %v, want ErrDidNotQuiesce", err)
+	}
+	events := sink.Events()
+	if len(events) == 0 {
+		t.Fatal("sink captured nothing from the aborted run")
+	}
+	if events[0].Kind != obs.KindRound || events[0].Round != 1 {
+		t.Errorf("first event %+v, want the round-1 barrier", events[0])
+	}
+	proposals := 0
+	for _, ev := range events {
+		if ev.Round > 1 {
+			t.Fatalf("event beyond the round bound: %+v", ev)
+		}
+		if ev.Kind == obs.KindPropose {
+			proposals++
+		}
+	}
+	if proposals == 0 {
+		t.Error("no round-1 proposals captured before the abort")
+	}
+}

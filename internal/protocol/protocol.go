@@ -20,6 +20,7 @@ import (
 
 	"dmra/internal/alloc"
 	"dmra/internal/mec"
+	"dmra/internal/obs"
 	"dmra/internal/rng"
 	"dmra/internal/sim"
 )
@@ -47,6 +48,12 @@ type Config struct {
 	LossSeed uint64
 	// Trace, if non-nil, receives every protocol event as it happens.
 	Trace func(TraceEvent)
+	// Obs, if non-nil, receives the typed observability stream: every
+	// event lands in the metrics registry and trace sink, and per-round
+	// residual-capacity gauges are published after each select phase.
+	// Unlike Trace's string kinds, Obs splits rejects into permanent and
+	// trim, matching internal/wire's verdicts event for event.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig returns a 1 ms-latency protocol with the default DMRA
@@ -267,6 +274,13 @@ func (r *runner) trace(kind string, round int, ue mec.UEID, bs mec.BSID) {
 	}
 }
 
+// observe mirrors trace into the typed observability stream.
+func (r *runner) observe(kind obs.EventKind, round int, ue mec.UEID, bs mec.BSID) {
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.EventAt(r.engine.Now(), kind, round, int(ue), int(bs))
+	}
+}
+
 // startRound runs the UE propose phase and schedules the BS select phase.
 func (r *runner) startRound(round int, protocolErr *error) {
 	if round > r.cfg.MaxRounds {
@@ -276,6 +290,7 @@ func (r *runner) startRound(round int, protocolErr *error) {
 	r.res.Rounds = round
 	r.requestsThisRound = 0
 	r.trace("round", round, -1, -1)
+	r.observe(obs.KindRound, round, -1, -1)
 	L := r.cfg.LatencyS
 
 	for _, agent := range r.ues {
@@ -290,6 +305,7 @@ func (r *runner) startRound(round int, protocolErr *error) {
 		r.res.Requests++
 		r.res.Messages++
 		r.trace("request", round, req.Link.UE, req.Link.BS)
+		r.observe(obs.KindPropose, round, req.Link.UE, req.Link.BS)
 		if r.lost() {
 			continue // the UE retries next round
 		}
@@ -332,6 +348,7 @@ func (r *runner) propose(agent *ueAgent) (alloc.Request, bool) {
 		agent.cands = append(agent.cands[:bestPos], agent.cands[bestPos+1:]...)
 	}
 	r.trace("cloud", r.res.Rounds, agent.id, mec.CloudBS)
+	r.observe(obs.KindCloudFallback, r.res.Rounds, agent.id, mec.CloudBS)
 	return alloc.Request{}, false
 }
 
@@ -394,6 +411,19 @@ func (r *runner) selectPhase(round int) {
 
 		r.broadcast(round, bs)
 	}
+
+	if r.cfg.Obs != nil {
+		admitted := 0
+		for _, bs := range r.bss {
+			crus := 0
+			for _, c := range bs.remCRU {
+				crus += c
+			}
+			r.cfg.Obs.Residual(int(bs.id), crus, bs.remRRB)
+			admitted += len(bs.admitted)
+		}
+		r.cfg.Obs.Unmatched(len(r.ues) - admitted)
+	}
 }
 
 // sendAccept delivers an admission notice to the UE, subject to loss.
@@ -401,6 +431,7 @@ func (r *runner) sendAccept(round int, bs *bsAgent, u mec.UEID) {
 	r.res.Accepts++
 	r.res.Messages++
 	r.trace("accept", round, u, bs.id)
+	r.observe(obs.KindAccept, round, u, bs.id)
 	if r.lost() {
 		return
 	}
@@ -420,6 +451,11 @@ func (r *runner) sendReject(round int, bs *bsAgent, u mec.UEID, permanent bool) 
 	r.res.Rejects++
 	r.res.Messages++
 	r.trace("reject", round, u, bs.id)
+	if permanent {
+		r.observe(obs.KindRejectPermanent, round, u, bs.id)
+	} else {
+		r.observe(obs.KindRejectTrim, round, u, bs.id)
+	}
 	if r.lost() || !permanent {
 		return
 	}
@@ -437,6 +473,7 @@ func (r *runner) broadcast(round int, bs *bsAgent) {
 	r.res.Broadcasts++
 	r.res.Messages++
 	r.trace("broadcast", round, -1, bs.id)
+	r.observe(obs.KindBroadcast, round, -1, bs.id)
 	remCRU := make([]int, len(bs.remCRU))
 	copy(remCRU, bs.remCRU)
 	remRRB := bs.remRRB

@@ -11,7 +11,14 @@ import (
 
 	"dmra/internal/alloc"
 	"dmra/internal/mec"
+	"dmra/internal/obs"
 )
+
+// BSTraffic is the coordinator-side byte accounting for one BS connection.
+type BSTraffic struct {
+	BytesSent     int64
+	BytesReceived int64
+}
 
 // ClusterResult reports a socket-level DMRA run.
 type ClusterResult struct {
@@ -20,9 +27,13 @@ type ClusterResult struct {
 	Rounds int
 	// Frames counts request/response frames exchanged with BS servers.
 	Frames int
-	// BytesSent and BytesReceived count coordinator-side socket traffic.
+	// BytesSent and BytesReceived count coordinator-side socket traffic
+	// summed over every BS connection.
 	BytesSent     int64
 	BytesReceived int64
+	// PerBS breaks the byte totals down by base station: PerBS[b] is the
+	// traffic on BS b's connection, including the shutdown exchange.
+	PerBS []BSTraffic
 }
 
 // countingConn tallies bytes moved over a connection. Counters are atomic
@@ -64,6 +75,17 @@ type view struct {
 // exercising the deployment path: serialization, sockets, per-BS
 // concurrency, and clean shutdown.
 func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) {
+	return RunClusterObserved(net_, cfg, nil)
+}
+
+// RunClusterObserved is RunCluster with an observability recorder: typed
+// convergence events (round barriers, proposals, verdicts, broadcasts,
+// cloud fallbacks) and per-round residual gauges. The event stream is
+// emitted from the coordinator goroutine only, in deterministic UE/BS
+// order, so a loss-free run produces the identical (round, ue, bs, kind)
+// sequence as internal/protocol on the same network — a parity the tests
+// assert. A nil recorder adds no work.
+func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Recorder) (ClusterResult, error) {
 	servers := make([]*BSServer, len(net_.BSs))
 	conns := make([]net.Conn, len(net_.BSs))
 	var res ClusterResult
@@ -80,7 +102,9 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 		}
 	}()
 
-	var sent, received atomic.Int64
+	// One counter pair per BS connection; the totals are summed at the end.
+	perSent := make([]atomic.Int64, len(net_.BSs))
+	perRecv := make([]atomic.Int64, len(net_.BSs))
 	for b := range net_.BSs {
 		s, err := StartBS(mec.BSID(b), net_.BSs[b].CRUCapacity, net_.BSs[b].MaxRRBs, cfg)
 		if err != nil {
@@ -91,7 +115,7 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 		if err != nil {
 			return ClusterResult{}, fmt.Errorf("wire: dial BS %d: %w", b, err)
 		}
-		conns[b] = countingConn{Conn: conn, sent: &sent, received: &received}
+		conns[b] = countingConn{Conn: conn, sent: &perSent[b], received: &perRecv[b]}
 	}
 
 	ues := make([]*ueState, len(net_.UEs))
@@ -124,6 +148,7 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 			return ClusterResult{}, fmt.Errorf("wire: exceeded %d rounds without quiescing", maxRounds)
 		}
 		res.Rounds = round
+		rec.Event(obs.KindRound, round, -1, -1)
 
 		// Propose phase: identical view-driven logic to internal/protocol.
 		batches := make([][]Request, len(net_.BSs))
@@ -135,8 +160,10 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 			uid := mec.UEID(u)
 			req, bsID, ok := propose(net_, cfg, uid, st)
 			if !ok {
+				rec.Event(obs.KindCloudFallback, round, u, int(mec.CloudBS))
 				continue
 			}
+			rec.Event(obs.KindPropose, round, u, int(bsID))
 			batches[bsID] = append(batches[bsID], req)
 			anyRequest = true
 		}
@@ -174,20 +201,41 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 			for _, v := range resp.Verdicts {
 				st := ues[v.UE]
 				if v.Accepted {
+					rec.Event(obs.KindAccept, round, int(v.UE), b)
 					st.assigned = true
 					st.servedBy = mec.BSID(b)
 				} else if v.Permanent {
+					rec.Event(obs.KindRejectPermanent, round, int(v.UE), b)
 					// A trimmed-but-still-feasible request keeps the BS
 					// as a candidate and may retry next round.
 					dropCandidate(net_, v.UE, st, mec.BSID(b))
+				} else {
+					rec.Event(obs.KindRejectTrim, round, int(v.UE), b)
 				}
 			}
+			rec.Event(obs.KindBroadcast, round, -1, b)
 			for _, u := range coveredBy[b] {
 				if vw, ok := ues[u].views[mec.BSID(b)]; ok {
 					copy(vw.remCRU, resp.RemainingCRU)
 					vw.remRRB = resp.RemainingRRBs
 				}
 			}
+			if rec != nil {
+				crus := 0
+				for _, c := range resp.RemainingCRU {
+					crus += c
+				}
+				rec.Residual(b, crus, resp.RemainingRRBs)
+			}
+		}
+		if rec != nil {
+			unmatched := 0
+			for _, st := range ues {
+				if !st.assigned {
+					unmatched++
+				}
+			}
+			rec.Unmatched(unmatched)
 		}
 	}
 
@@ -210,8 +258,13 @@ func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) 
 	if err := mec.ValidateAssignment(net_, res.Assignment); err != nil {
 		return ClusterResult{}, fmt.Errorf("wire: invalid assignment: %w", err)
 	}
-	res.BytesSent = sent.Load()
-	res.BytesReceived = received.Load()
+	res.PerBS = make([]BSTraffic, len(net_.BSs))
+	for b := range res.PerBS {
+		t := BSTraffic{BytesSent: perSent[b].Load(), BytesReceived: perRecv[b].Load()}
+		res.PerBS[b] = t
+		res.BytesSent += t.BytesSent
+		res.BytesReceived += t.BytesReceived
+	}
 	return res, nil
 }
 

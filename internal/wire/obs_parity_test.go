@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"dmra/internal/alloc"
+	"dmra/internal/obs"
+	"dmra/internal/protocol"
+)
+
+// traceKeys runs one of the observed runtimes and returns its ordered
+// (kind, round, ue, bs) event sequence.
+func traceKeys(t *testing.T, run func(rec *obs.Recorder) error) []obs.Event {
+	t.Helper()
+	sink := obs.NewSink(nil, 1<<17)
+	if err := run(obs.NewRecorder(nil, sink)); err != nil {
+		t.Fatal(err)
+	}
+	events := sink.Events()
+	if int64(len(events)) != sink.Total() {
+		t.Fatalf("ring dropped events: kept %d of %d (grow the test ring)", len(events), sink.Total())
+	}
+	return events
+}
+
+// TestTraceParityProtocolVsWire is the observability analogue of the
+// assignment-parity tests: on a loss-free run, the discrete-event message
+// protocol and the TCP cluster must emit the identical ordered sequence
+// of typed convergence events — same rounds, same proposals, same
+// verdicts, same broadcasts, keyed by (round, ue, bs, kind). Timing
+// (Seq/TimeS) is implementation-specific and excluded.
+func TestTraceParityProtocolVsWire(t *testing.T) {
+	for _, n := range []int{40, 250} {
+		net_ := buildNet(t, n, 3)
+		proto := traceKeys(t, func(rec *obs.Recorder) error {
+			cfg := protocol.DefaultConfig()
+			cfg.Obs = rec
+			_, err := protocol.Run(net_, cfg)
+			return err
+		})
+		cluster := traceKeys(t, func(rec *obs.Recorder) error {
+			_, err := RunClusterObserved(net_, alloc.DefaultDMRAConfig(), rec)
+			return err
+		})
+		if len(proto) != len(cluster) {
+			t.Fatalf("n=%d: protocol emitted %d events, cluster %d", n, len(proto), len(cluster))
+		}
+		for i := range proto {
+			if proto[i].Key() != cluster[i].Key() || proto[i].Kind != cluster[i].Kind {
+				t.Fatalf("n=%d event %d: protocol %+v vs cluster %+v", n, i, proto[i], cluster[i])
+			}
+		}
+	}
+}
+
+// TestClusterPerBSTraffic asserts the coordinator's per-BS byte
+// accounting: one entry per BS, every connection carried traffic (at
+// minimum the shutdown exchange), and the breakdown sums exactly to the
+// run totals.
+func TestClusterPerBSTraffic(t *testing.T) {
+	net_ := buildNet(t, 120, 3)
+	res, err := RunClusterObserved(net_, alloc.DefaultDMRAConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerBS) != len(net_.BSs) {
+		t.Fatalf("PerBS entries = %d, want %d", len(res.PerBS), len(net_.BSs))
+	}
+	var sent, received int64
+	for b, tr := range res.PerBS {
+		if tr.BytesSent == 0 || tr.BytesReceived == 0 {
+			t.Errorf("BS %d: sent=%d received=%d, want both nonzero", b, tr.BytesSent, tr.BytesReceived)
+		}
+		sent += tr.BytesSent
+		received += tr.BytesReceived
+	}
+	if sent != res.BytesSent || received != res.BytesReceived {
+		t.Errorf("per-BS sums %d/%d != totals %d/%d", sent, received, res.BytesSent, res.BytesReceived)
+	}
+}
+
+// TestBSServerBadFrameSurfacesError drives the server's failure path: a
+// syntactically valid frame header carrying garbage JSON is a protocol
+// failure, which serve() must remember (setErr) and Close must report.
+func TestBSServerBadFrameSurfacesError(t *testing.T) {
+	s, err := StartBS(0, []int{50}, 20, alloc.DefaultDMRAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("{not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := s.Close(); err == nil {
+		t.Fatal("Close returned nil after a garbage frame; want the decode error")
+	}
+}
+
+// TestBSServerAbruptCloseIsClean covers mid-round teardown: the
+// coordinator vanishing between frames is an orderly close (EOF /
+// ErrClosed), not a protocol failure, so Close must return nil.
+func TestBSServerAbruptCloseIsClean(t *testing.T) {
+	s, err := StartBS(1, []int{50}, 20, alloc.DefaultDMRAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One well-formed round first, so the teardown happens mid-session
+	// rather than before any exchange.
+	if err := WriteFrame(conn, &RoundRequest{Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var resp RoundResponse
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after abrupt coordinator close: %v", err)
+	}
+}
+
+// TestBSServerTruncatedFrameIsClean: a connection dying inside a frame
+// body surfaces as an unexpected EOF, which isClosed treats as teardown.
+func TestBSServerTruncatedFrameIsClean(t *testing.T) {
+	s, err := StartBS(2, []int{50}, 20, alloc.DefaultDMRAConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	if _, err := conn.Write(hdr[:]); err != nil { // header promises 100 bytes...
+		t.Fatal(err)
+	}
+	conn.Close() // ...but the connection dies first
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after truncated frame: %v", err)
+	}
+}

@@ -1,8 +1,36 @@
 #!/bin/sh
 # Full verification gate: vet plus the race-enabled test suite, which
-# exercises the parallel experiment engine at several worker counts.
+# exercises the parallel experiment engine at several worker counts, and
+# the telemetry-determinism gate, which proves that attaching the
+# observability layer does not change a single byte of experiment output.
 # Equivalent to `make check`.
+#
+# Usage:
+#   scripts/check.sh                   vet + race suite + obs determinism
+#   scripts/check.sh obs-determinism   only the telemetry gate
 set -eu
 cd "$(dirname "$0")/.."
+
+obs_determinism() {
+	# Run one figure twice — plain, and with the full observability stack
+	# (ephemeral debug server + JSONL trace + instrumented grid) — and
+	# require byte-identical tables. Any telemetry leak into the results
+	# fails the gate.
+	tmp=$(mktemp -d)
+	trap 'rm -rf "$tmp"' EXIT
+	go run ./cmd/dmra-figures -fig 2 -seeds 2 -out "$tmp/plain" > /dev/null
+	go run ./cmd/dmra-figures -fig 2 -seeds 2 -out "$tmp/obs" \
+		-obs-addr 127.0.0.1:0 -trace "$tmp/trace.jsonl" > /dev/null
+	diff "$tmp/plain/fig2.csv" "$tmp/obs/fig2.csv"
+	test -s "$tmp/trace.jsonl" || { echo "obs run produced no trace events" >&2; exit 1; }
+	echo "obs determinism: fig2 tables byte-identical with and without telemetry"
+}
+
+if [ "${1:-}" = "obs-determinism" ]; then
+	obs_determinism
+	exit 0
+fi
+
 go vet ./...
 go test -race ./...
+obs_determinism
