@@ -16,17 +16,25 @@ vet:
 
 # check is the full verification gate: vet, the race-enabled suite
 # (which exercises the parallel experiment engine across worker counts),
-# and the telemetry-determinism gate of scripts/check.sh.
+# a one-iteration smoke run of the hot-path benchmarks, and the
+# telemetry-determinism gate of scripts/check.sh.
 check: vet race
+	./scripts/check.sh bench-smoke
 	./scripts/check.sh obs-determinism
 
-# bench times the experiment engine (plain and instrumented) and appends
-# one baseline line to BENCH_exp.json for cross-PR comparison.
+# bench times the experiment engine (plain and instrumented), the DMRA
+# hot path (cached vs naive), and scenario construction, then appends
+# one baseline line per benchmark to BENCH_exp.json for cross-PR
+# comparison (diff with scripts/benchdiff.sh).
 bench:
 	$(GO) test ./internal/exp/ -bench 'BenchmarkFigureRun|BenchmarkFigureRunObserved' -benchmem -run '^$$'
-	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v
+	$(GO) test ./internal/alloc/ -bench 'BenchmarkAllocate$$|BenchmarkAllocateNaive$$' -benchmem -run '^$$'
+	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$' -benchmem -run '^$$'
+	$(MAKE) bench-baseline
 
-# bench-baseline appends only the engine baseline line (no benchmark
-# table) to BENCH_exp.json.
+# bench-baseline appends only the baseline lines (no benchmark table)
+# to BENCH_exp.json.
 bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAllocBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/workload/ -run TestWriteNetworkBenchBaseline -v

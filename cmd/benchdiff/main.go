@@ -1,0 +1,112 @@
+// Benchdiff compares the last two records of one benchmark in a
+// BENCH_exp.json history (JSONL, one record per `make bench` run) and
+// fails when ns/op regressed beyond a threshold. It understands both
+// record shapes the repo writes: flat records with a single *_ns_op
+// number, and per-case records ({"cases": {name: {"ns_op": ...}}}),
+// where every case is compared independently.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -file BENCH_exp.json -bench BenchmarkAllocate -max-regress 0.20
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	file := flag.String("file", "BENCH_exp.json", "JSONL benchmark history")
+	bench := flag.String("bench", "BenchmarkAllocate", "benchmark name to compare (prefix match)")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed ns/op regression (0.20 = +20%)")
+	flag.Parse()
+
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal("open %s: %v", *file, err)
+	}
+	defer f.Close()
+
+	var matches []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fatal("parse %s: %v", *file, err)
+		}
+		name, _ := rec["benchmark"].(string)
+		if len(name) >= len(*bench) && name[:len(*bench)] == *bench {
+			matches = append(matches, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal("read %s: %v", *file, err)
+	}
+	if len(matches) < 2 {
+		fmt.Printf("benchdiff: %d record(s) of %q in %s — need two to compare, nothing to do\n",
+			len(matches), *bench, *file)
+		return
+	}
+	prev, cur := matches[len(matches)-2], matches[len(matches)-1]
+
+	failed := false
+	for _, pair := range comparableSeries(prev, cur) {
+		delta := (pair.cur - pair.prev) / pair.prev
+		status := "ok"
+		if delta > *maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-32s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			pair.name, pair.prev, pair.cur, 100*delta, status)
+	}
+	if failed {
+		fatal("ns/op regressed more than %.0f%%", 100**maxRegress)
+	}
+}
+
+type series struct {
+	name      string
+	prev, cur float64
+}
+
+// comparableSeries extracts every ns/op series present in both records:
+// per-case ns_op values, plus any top-level key ending in ns_op.
+func comparableSeries(prev, cur map[string]any) []series {
+	var out []series
+	pc, _ := prev["cases"].(map[string]any)
+	cc, _ := cur["cases"].(map[string]any)
+	for name, pv := range pc {
+		pcase, _ := pv.(map[string]any)
+		ccase, _ := cc[name].(map[string]any)
+		p, pok := pcase["ns_op"].(float64)
+		c, cok := ccase["ns_op"].(float64)
+		if pok && cok && p > 0 {
+			out = append(out, series{name: name, prev: p, cur: c})
+		}
+	}
+	for key, pv := range prev {
+		if len(key) < 5 || key[len(key)-5:] != "ns_op" {
+			continue
+		}
+		p, pok := pv.(float64)
+		c, cok := cur[key].(float64)
+		if pok && cok && p > 0 {
+			out = append(out, series{name: key, prev: p, cur: c})
+		}
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -103,7 +103,13 @@ func (cs *candidateSet) forEach(net *mec.Network, u mec.UEID, fn func(pos int, l
 }
 
 // dropIdx removes the candidate at position pos of u's remaining list.
+// The removal builds a fresh slice: an in-place append splice would shift
+// elements inside the backing array that a caller-held slice (e.g. an
+// in-flight forEach, or a previous remaining[u] snapshot) still aliases.
 func (cs *candidateSet) dropIdx(u mec.UEID, pos int) {
 	rem := cs.remaining[u]
-	cs.remaining[u] = append(rem[:pos], rem[pos+1:]...)
+	out := make([]int, 0, len(rem)-1)
+	out = append(out, rem[:pos]...)
+	out = append(out, rem[pos+1:]...)
+	cs.remaining[u] = out
 }

@@ -1,0 +1,133 @@
+package alloc
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dmra/internal/mec"
+	"dmra/internal/workload"
+)
+
+// benchScenarios are the three densities BenchmarkAllocate pins: a sparse
+// suburb, the paper's default §VI population, and the rush-hour dense-city
+// scenario of examples/densecity (hotspot-clustered demand, Zipf services).
+func benchScenarios() []struct {
+	name string
+	cfg  workload.Config
+} {
+	sparse := workload.Default()
+	sparse.UEs = 300
+	def := workload.Default()
+	def.UEs = 900
+	dense := workload.Default()
+	dense.UEs = 1100
+	dense.UEDist = workload.UEHotspot
+	dense.HotspotCount = 3
+	dense.HotspotSigmaM = 100
+	dense.HotspotFraction = 0.9
+	dense.ServiceDist = workload.ServiceZipf
+	dense.ZipfS = 1.1
+	return []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"sparse-300ue", sparse},
+		{"default-900ue", def},
+		{"densecity-1100ue", dense},
+	}
+}
+
+func benchNet(b testing.TB, cfg workload.Config) *mec.Network {
+	net, err := cfg.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+func benchAllocate(b *testing.B, d *DMRA, net *mec.Network) {
+	var res Result
+	// Warm the runState pool and res's backing so the timed loop measures
+	// steady state.
+	if err := d.AllocateInto(net, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.AllocateInto(net, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllocate times the cached DMRA engine at three scenario
+// densities. With a nil observer the steady-state hot path must not
+// allocate (allocs/op = 0).
+func BenchmarkAllocate(b *testing.B) {
+	for _, sc := range benchScenarios() {
+		net := benchNet(b, sc.cfg)
+		b.Run(sc.name, func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()), net)
+		})
+	}
+}
+
+// BenchmarkAllocateNaive times the reference implementation on the same
+// scenarios; the ratio to BenchmarkAllocate is the hot-path win.
+func BenchmarkAllocateNaive(b *testing.B) {
+	for _, sc := range benchScenarios() {
+		net := benchNet(b, sc.cfg)
+		b.Run(sc.name, func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()).ForceNaive(), net)
+		})
+	}
+}
+
+// TestWriteAllocBenchBaseline appends one JSON line per scenario density
+// to the file named by BENCH_BASELINE (skipped when unset): cached and
+// naive ns/op, the speedup, and cached allocs/op. Run via `make bench`.
+func TestWriteAllocBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	cases := map[string]any{}
+	for _, sc := range benchScenarios() {
+		net := benchNet(t, sc.cfg)
+		cached := testing.Benchmark(func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()), net)
+		})
+		naive := testing.Benchmark(func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()).ForceNaive(), net)
+		})
+		cases[sc.name] = map[string]any{
+			"ns_op":       cached.NsPerOp(),
+			"naive_ns_op": naive.NsPerOp(),
+			"speedup":     float64(naive.NsPerOp()) / float64(cached.NsPerOp()),
+			"allocs_op":   cached.AllocsPerOp(),
+		}
+	}
+	baseline := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339),
+		"benchmark":  "BenchmarkAllocate",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"cases":      cases,
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended BenchmarkAllocate baseline to %s", path)
+}

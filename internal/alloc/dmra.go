@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"dmra/internal/mec"
 	"dmra/internal/obs"
@@ -100,9 +101,18 @@ func (c DMRAConfig) SelectPerService(net *mec.Network, reqs []Request) []Request
 // SortByBSPreference orders requests most-preferred-first by the BS's
 // criteria, for the radio-budget trimming of Alg. 1 lines 22-25.
 func (c DMRAConfig) SortByBSPreference(net *mec.Network, reqs []Request) {
-	sort.SliceStable(reqs, func(a, b int) bool {
-		return c.bsPrefers(net, reqs[a], reqs[b])
-	})
+	// Insertion sort: stable, allocation-free, and the per-BS request
+	// lists it orders are at most one entry per service. sort.SliceStable
+	// would heap-allocate its closure on the admit-trim hot path.
+	for i := 1; i < len(reqs); i++ {
+		r := reqs[i]
+		k := i
+		for k > 0 && c.bsPrefers(net, r, reqs[k-1]) {
+			reqs[k] = reqs[k-1]
+			k--
+		}
+		reqs[k] = r
+	}
 }
 
 // bsPrefers orders two requests by the BS's preference (most preferred
@@ -132,6 +142,32 @@ func (c DMRAConfig) bsPrefers(net *mec.Network, a, b Request) bool {
 type DMRA struct {
 	cfg DMRAConfig
 	obs *obs.Recorder
+	// naive forces the reference implementation (full Eq. 17 sweep per
+	// proposal, fresh buffers every round); the differential fuzz target
+	// pins the fast path against it.
+	naive bool
+	// pool recycles runState across Allocate calls. Experiment drivers
+	// share one allocator instance across worker goroutines, so the
+	// scratch must be pooled, not a struct field.
+	pool sync.Pool
+}
+
+// runState is the recycled per-run scratch of the cached engine: the
+// ledger, the preference cache, and every buffer the round loop needs, so
+// a steady-state Allocate performs no heap allocations with a nil
+// observer.
+type runState struct {
+	state *mec.State
+	pref  *PrefScorer
+	// inbox[b] collects the requests BS b received this iteration.
+	inbox [][]Request
+	// byService/touched/selected are the select-phase scratch.
+	byService [][]Request
+	touched   []mec.ServiceID
+	selected  []Request
+	// lastScanned/lastRescored are the cache counters at the previous
+	// round boundary, for per-round observability deltas.
+	lastScanned, lastRescored uint64
 }
 
 var _ Allocator = (*DMRA)(nil)
@@ -164,6 +200,162 @@ func (d *DMRA) Preference(s *mec.State, l mec.Link) float64 {
 
 // Allocate implements Allocator by running Alg. 1 to quiescence.
 func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
+	var res Result
+	if err := d.AllocateInto(net, &res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// AllocateInto runs Alg. 1 to quiescence, writing the outcome into res
+// and reusing res's backing storage where possible. Callers that recycle
+// the same Result (benchmarks, repeated experiment points) see zero heap
+// allocations per run in steady state with a nil observer.
+func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
+	if d.naive {
+		return d.allocateNaive(net, res)
+	}
+	rs, _ := d.pool.Get().(*runState)
+	if rs == nil {
+		rs = &runState{state: &mec.State{}, pref: &PrefScorer{}}
+	}
+	defer d.pool.Put(rs)
+	rs.state.Reset(net)
+	rs.pref.Reset(net, d.cfg)
+	rs.lastScanned, rs.lastRescored = 0, 0
+	if cap(rs.inbox) < len(net.BSs) {
+		rs.inbox = make([][]Request, len(net.BSs))
+	}
+	rs.inbox = rs.inbox[:len(net.BSs)]
+	for b := range rs.inbox {
+		rs.inbox[b] = rs.inbox[b][:0]
+	}
+
+	var stats Stats
+	for {
+		stats.Iterations++
+		if d.obs != nil {
+			d.obs.Event(obs.KindRound, stats.Iterations, -1, -1)
+		}
+
+		// --- Propose phase (Alg. 1 lines 3-10) ---
+		anyRequest := false
+		for u := range net.UEs {
+			uid := mec.UEID(u)
+			if rs.state.Assigned(uid) {
+				continue
+			}
+			proposed := false
+			for !rs.pref.Empty(uid) {
+				k, link, ok := rs.pref.Best(uid, rs.state)
+				if !ok {
+					break
+				}
+				if rs.state.CanServe(uid, link.BS) {
+					rs.inbox[link.BS] = append(rs.inbox[link.BS], Request{
+						Link: link,
+						Fu:   net.CoverCount(uid),
+					})
+					stats.Proposals++
+					anyRequest = true
+					proposed = true
+					if d.obs != nil {
+						d.obs.Event(obs.KindPropose, stats.Iterations, u, int(link.BS))
+					}
+					break
+				}
+				// Resources never grow back: drop the BS permanently
+				// (Alg. 1 line 10).
+				rs.pref.Drop(uid, k)
+			}
+			if !proposed && d.obs != nil {
+				d.obs.Event(obs.KindCloudFallback, stats.Iterations, u, int(mec.CloudBS))
+			}
+		}
+		if !anyRequest {
+			break
+		}
+
+		// --- Select phase (Alg. 1 lines 11-26) ---
+		for b := range net.BSs {
+			reqs := rs.inbox[b]
+			if len(reqs) == 0 {
+				continue
+			}
+			selected := d.selectPerServiceInto(rs, net, reqs)
+			if err := d.admit(rs.state, selected, &stats); err != nil {
+				return err
+			}
+			rs.inbox[b] = reqs[:0]
+		}
+		if d.obs != nil {
+			d.observeRound(net, rs.state)
+			scanned, rescored := rs.pref.CacheStats()
+			d.obs.PrefCacheRound(int64(scanned-rs.lastScanned), int64(rescored-rs.lastRescored))
+			rs.lastScanned, rs.lastRescored = scanned, rescored
+		}
+
+		if stats.Iterations > len(net.UEs)+1 {
+			// Alg. 1 assigns at least one UE per iteration with pending
+			// requests, so this bound can only trip on an implementation
+			// bug. Fail loudly rather than spin.
+			return fmt.Errorf("alloc: DMRA exceeded %d iterations", len(net.UEs)+1)
+		}
+	}
+
+	if err := rs.state.CheckInvariants(); err != nil {
+		return fmt.Errorf("alloc: DMRA produced invalid state: %w", err)
+	}
+	res.Assignment = rs.state.SnapshotInto(res.Assignment)
+	res.Stats = stats
+	return nil
+}
+
+// selectPerServiceInto is SelectPerService on the runState's scratch
+// buffers: bucket requests by service, then take each bucket's single
+// most-preferred request. bsPrefers is a strict total order (it ends on
+// the unique UE ID), so the one-pass minimum equals the exported
+// filter-chain implementation exactly.
+func (d *DMRA) selectPerServiceInto(rs *runState, net *mec.Network, reqs []Request) []Request {
+	if cap(rs.byService) < net.Services {
+		rs.byService = make([][]Request, net.Services)
+	}
+	rs.byService = rs.byService[:net.Services]
+	rs.touched = rs.touched[:0]
+	for _, r := range reqs {
+		j := net.UEs[r.Link.UE].Service
+		if len(rs.byService[j]) == 0 {
+			rs.touched = append(rs.touched, j)
+		}
+		rs.byService[j] = append(rs.byService[j], r)
+	}
+	// Services must come out ascending; the touched list is tiny, so an
+	// insertion sort avoids sort.Slice's closure allocation.
+	for i := 1; i < len(rs.touched); i++ {
+		for k := i; k > 0 && rs.touched[k] < rs.touched[k-1]; k-- {
+			rs.touched[k], rs.touched[k-1] = rs.touched[k-1], rs.touched[k]
+		}
+	}
+	rs.selected = rs.selected[:0]
+	for _, j := range rs.touched {
+		group := rs.byService[j]
+		best := group[0]
+		for _, cand := range group[1:] {
+			if d.cfg.bsPrefers(net, cand, best) {
+				best = cand
+			}
+		}
+		rs.selected = append(rs.selected, best)
+		rs.byService[j] = group[:0]
+	}
+	return rs.selected
+}
+
+// allocateNaive is the reference Alg. 1 implementation: a full Eq. 17
+// sweep per proposal over a shrinking candidate set, with fresh buffers
+// every round. The differential fuzz target asserts the cached engine
+// matches it bit for bit.
+func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 	state := mec.NewState(net)
 	cands := newCandidateSet(net)
 	var stats Stats
@@ -203,8 +395,6 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 					}
 					break
 				}
-				// Resources never grow back: drop the BS permanently
-				// (Alg. 1 line 10).
 				cands.dropIdx(uid, pos)
 			}
 			if !proposed && d.obs != nil {
@@ -223,24 +413,25 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 			}
 			inbox[b] = nil
 			selected := d.cfg.SelectPerService(net, reqs)
-			d.admit(state, selected, &stats)
+			if err := d.admit(state, selected, &stats); err != nil {
+				return err
+			}
 		}
 		if d.obs != nil {
 			d.observeRound(net, state)
 		}
 
 		if stats.Iterations > len(net.UEs)+1 {
-			// Alg. 1 assigns at least one UE per iteration with pending
-			// requests, so this bound can only trip on an implementation
-			// bug. Fail loudly rather than spin.
-			return Result{}, fmt.Errorf("alloc: DMRA exceeded %d iterations", len(net.UEs)+1)
+			return fmt.Errorf("alloc: DMRA exceeded %d iterations", len(net.UEs)+1)
 		}
 	}
 
 	if err := state.CheckInvariants(); err != nil {
-		return Result{}, fmt.Errorf("alloc: DMRA produced invalid state: %w", err)
+		return fmt.Errorf("alloc: DMRA produced invalid state: %w", err)
 	}
-	return Result{Assignment: state.Snapshot(), Stats: stats}, nil
+	res.Assignment = state.SnapshotInto(res.Assignment)
+	res.Stats = stats
+	return nil
 }
 
 // bestCandidate returns the position and link of u's minimum-v candidate.
@@ -269,19 +460,25 @@ func (d *DMRA) bestCandidate(s *mec.State, cands *candidateSet, u mec.UEID) (int
 // Trimmed UEs stay unassigned and retry next iteration, where the
 // propose-time feasibility check decides whether this BS remains a
 // candidate.
-func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) {
+func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) error {
 	if len(selected) == 0 {
-		return
+		return nil
 	}
+	net := state.Network()
 	total := 0
 	for _, r := range selected {
 		total += r.Link.RRBs
 	}
 	if total > state.RemainingRRBs(selected[0].Link.BS) {
-		d.cfg.SortByBSPreference(state.Network(), selected)
+		d.cfg.SortByBSPreference(net, selected)
 	}
 	for i, r := range selected {
-		if err := state.Assign(r.Link.UE, r.Link.BS); err != nil {
+		// Check the shortfall explicitly instead of letting Assign build
+		// an error value: the trim is the expected path, and it must not
+		// allocate. Any Assign failure past this check is a real bug.
+		ue := &net.UEs[r.Link.UE]
+		remCRU, remRRBs := state.Residual(r.Link.BS, ue.Service)
+		if remCRU < ue.CRUDemand || remRRBs < r.Link.RRBs {
 			stats.Rejects += len(selected) - i
 			if d.obs != nil {
 				// The whole trimmed tail retries next iteration; the
@@ -291,13 +488,17 @@ func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) {
 					d.obs.Event(obs.KindRejectTrim, stats.Iterations, int(t.Link.UE), int(t.Link.BS))
 				}
 			}
-			return
+			return nil
+		}
+		if err := state.Assign(r.Link.UE, r.Link.BS); err != nil {
+			return fmt.Errorf("alloc: DMRA admit: %w", err)
 		}
 		stats.Accepts++
 		if d.obs != nil {
 			d.obs.Event(obs.KindAccept, stats.Iterations, int(r.Link.UE), int(r.Link.BS))
 		}
 	}
+	return nil
 }
 
 // observeRound publishes the per-round gauges: residual capacity per BS

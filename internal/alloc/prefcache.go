@@ -1,0 +1,216 @@
+package alloc
+
+import (
+	"math"
+
+	"dmra/internal/mec"
+)
+
+// ResidualView is the resource picture a preference cache scores against:
+// the ledger itself for the synchronous solver, or a UE's possibly-stale
+// local view for the message-passing runtimes. ResidualVersion must change
+// whenever Residual's answer for that BS changes.
+type ResidualView interface {
+	Residual(b mec.BSID, j mec.ServiceID) (remCRU, remRRBs int)
+	ResidualVersion(b mec.BSID) uint64
+}
+
+// staleVer marks a cache entry that has never been scored. Real versions
+// count mutations from zero, so they can never reach it.
+const staleVer = ^uint64(0)
+
+// prefEntry is one cached Eq. 17 evaluation: the value v, the residual
+// version of the BS it was computed at, and the candidate index k into
+// net.Candidates(u).
+type prefEntry struct {
+	v   float64
+	ver uint64
+	k   int32
+}
+
+// prefLess orders entries by (value, candidate index). The index tie-break
+// reproduces the naive scan exactly: a first-strictly-less sweep in
+// candidate order returns the lowest-index minimum.
+func prefLess(a, b prefEntry) bool {
+	return a.v < b.v || (a.v == b.v && a.k < b.k)
+}
+
+func siftDown(h []prefEntry, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && prefLess(h[r], h[l]) {
+			m = r
+		}
+		if !prefLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// PrefScorer caches Eq. 17 evaluations per UE so each Best call re-scores
+// only candidates whose BS's residuals changed since the UE last looked.
+//
+// Correctness rests on DMRA's monotonicity: resources are only ever
+// debited during a run, so for rho >= 0 every cached value is a lower
+// bound of the current value. A lazy min-heap is then exact — when the
+// top entry's version matches the BS's current version, its value is
+// current and no other entry (all lower-bounded below it) can beat it.
+// Negative rho breaks the bound, so the scorer falls back to a full
+// linear rescan that mirrors the naive sweep literally.
+//
+// A PrefScorer belongs to one run at a time; it is not safe for
+// concurrent use.
+type PrefScorer struct {
+	cfg DMRAConfig
+	net *mec.Network
+	// heaps[u] is UE u's candidate min-heap ordered by prefLess.
+	heaps [][]prefEntry
+	// dropped[u][k] marks candidate k permanently removed (Alg. 1 line
+	// 10); heap entries are tombstoned lazily.
+	dropped [][]bool
+	// live[u] counts u's non-dropped candidates.
+	live []int
+	// scanned counts the Eq. 17 evaluations a naive per-call sweep would
+	// have performed; rescored counts the evaluations actually performed.
+	// Their gap is the cache's win, exposed via CacheStats.
+	scanned, rescored uint64
+	linearOnly        bool
+}
+
+// NewPrefScorer returns a scorer over net's candidate lists.
+func NewPrefScorer(net *mec.Network, cfg DMRAConfig) *PrefScorer {
+	p := &PrefScorer{}
+	p.Reset(net, cfg)
+	return p
+}
+
+// Reset rewinds the scorer for a fresh run over net, reusing backing
+// storage when shapes allow so pooled allocators stay allocation-free.
+func (p *PrefScorer) Reset(net *mec.Network, cfg DMRAConfig) {
+	p.cfg = cfg
+	p.net = net
+	p.linearOnly = cfg.Rho < 0
+	p.scanned, p.rescored = 0, 0
+	if len(p.heaps) != len(net.UEs) {
+		p.heaps = make([][]prefEntry, len(net.UEs))
+		p.dropped = make([][]bool, len(net.UEs))
+		p.live = make([]int, len(net.UEs))
+	}
+	for u := range net.UEs {
+		n := len(net.Candidates(mec.UEID(u)))
+		h := p.heaps[u][:0]
+		if cap(h) < n {
+			h = make([]prefEntry, 0, n)
+		}
+		// All-equal sentinel values in ascending k order form a valid
+		// heap under prefLess, and staleVer forces a first-touch rescore.
+		for k := 0; k < n; k++ {
+			h = append(h, prefEntry{v: math.Inf(-1), ver: staleVer, k: int32(k)})
+		}
+		p.heaps[u] = h
+		d := p.dropped[u]
+		if cap(d) < n {
+			d = make([]bool, n)
+		} else {
+			d = d[:n]
+			for i := range d {
+				d[i] = false
+			}
+		}
+		p.dropped[u] = d
+		p.live[u] = n
+	}
+}
+
+// Empty reports whether UE u has no viable candidates left.
+func (p *PrefScorer) Empty(u mec.UEID) bool { return p.live[u] == 0 }
+
+// Drop permanently removes candidate k of UE u (the BS turned infeasible;
+// Alg. 1 line 10). The heap entry is tombstoned and discarded when it
+// surfaces.
+func (p *PrefScorer) Drop(u mec.UEID, k int) {
+	if !p.dropped[u][k] {
+		p.dropped[u][k] = true
+		p.live[u]--
+	}
+}
+
+// DropBS removes UE u's candidate on BS b, if present. The candidate list
+// is BS-sorted, so the lookup is a binary search.
+func (p *PrefScorer) DropBS(u mec.UEID, b mec.BSID) {
+	cands := p.net.Candidates(u)
+	lo, hi := 0, len(cands)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cands[mid].BS < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cands) && cands[lo].BS == b {
+		p.Drop(u, lo)
+	}
+}
+
+// Best returns UE u's minimum-preference viable candidate under rv,
+// identical in value and tie-breaking to a full Eq. 17 sweep of the
+// non-dropped candidates in index order. ok is false iff none remain.
+func (p *PrefScorer) Best(u mec.UEID, rv ResidualView) (k int, link mec.Link, ok bool) {
+	if p.live[u] == 0 {
+		return 0, mec.Link{}, false
+	}
+	cands := p.net.Candidates(u)
+	svc := p.net.UEs[u].Service
+	p.scanned += uint64(p.live[u])
+	if p.linearOnly {
+		p.rescored += uint64(p.live[u])
+		best := -1
+		bestV := math.Inf(1)
+		for kk := range cands {
+			if p.dropped[u][kk] {
+				continue
+			}
+			remC, remR := rv.Residual(cands[kk].BS, svc)
+			if v := p.cfg.Preference(cands[kk], remC, remR); best < 0 || v < bestV {
+				bestV, best = v, kk
+			}
+		}
+		return best, cands[best], true
+	}
+	h := p.heaps[u]
+	for {
+		top := h[0]
+		if p.dropped[u][top.k] {
+			n := len(h) - 1
+			h[0] = h[n]
+			h = h[:n]
+			p.heaps[u] = h
+			if n > 1 {
+				siftDown(h, 0)
+			}
+			continue
+		}
+		l := cands[top.k]
+		cur := rv.ResidualVersion(l.BS)
+		if top.ver == cur {
+			return int(top.k), l, true
+		}
+		remC, remR := rv.Residual(l.BS, svc)
+		h[0] = prefEntry{v: p.cfg.Preference(l, remC, remR), ver: cur, k: top.k}
+		p.rescored++
+		siftDown(h, 0)
+	}
+}
+
+// CacheStats returns the cumulative Eq. 17 evaluations a naive sweep
+// would have performed and the evaluations this scorer actually ran.
+func (p *PrefScorer) CacheStats() (scanned, rescored uint64) {
+	return p.scanned, p.rescored
+}

@@ -1,0 +1,126 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"slices"
+)
+
+// GridIndex is a uniform spatial hash over a fixed point set: points are
+// bucketed into square cells of a configurable size, so radius queries
+// touch only the cells overlapping the query disk instead of the whole
+// set. Scenario construction uses it to find the base stations near a UE
+// in time proportional to local coverage density rather than |BS|.
+//
+// The index is immutable after construction and safe for concurrent
+// readers, which is what lets link building fan out across UEs.
+type GridIndex struct {
+	cellSize   float64
+	minX, minY float64
+	cols, rows int
+	// cells is row-major; each bucket holds point indices in ascending
+	// order (points are inserted in index order).
+	cells [][]int32
+}
+
+// NewGridIndex buckets points into square cells of the given size. The
+// cell size is a tuning knob, not a correctness bound — queries of any
+// radius are answered exactly — but it should be on the order of the
+// typical query radius so a query touches O(1) cells. It panics on a
+// non-positive cell size, which always indicates a construction bug.
+func NewGridIndex(points []Point, cellSize float64) *GridIndex {
+	if cellSize <= 0 || math.IsNaN(cellSize) {
+		panic(fmt.Sprintf("geo: non-positive grid cell size %g", cellSize))
+	}
+	g := &GridIndex{cellSize: cellSize}
+	if len(points) == 0 {
+		g.cols, g.rows = 1, 1
+		g.cells = make([][]int32, 1)
+		return g
+	}
+	g.minX, g.minY = math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range points {
+		g.minX = math.Min(g.minX, p.X)
+		g.minY = math.Min(g.minY, p.Y)
+		maxX = math.Max(maxX, p.X)
+		maxY = math.Max(maxY, p.Y)
+	}
+	// Bound the cell table by the point count: a sparse set scattered over
+	// a huge extent would otherwise allocate millions of empty buckets.
+	// Doubling the cell size only coarsens queries, never their results.
+	maxCells := 4*len(points) + 64
+	for {
+		g.cols = int((maxX-g.minX)/g.cellSize) + 1
+		g.rows = int((maxY-g.minY)/g.cellSize) + 1
+		if g.cols*g.rows <= maxCells {
+			break
+		}
+		g.cellSize *= 2
+	}
+	g.cells = make([][]int32, g.cols*g.rows)
+	for i, p := range points {
+		c := g.cellCol(p.X)
+		r := g.cellRow(p.Y)
+		g.cells[r*g.cols+c] = append(g.cells[r*g.cols+c], int32(i))
+	}
+	return g
+}
+
+// cellCol maps an x coordinate to a column, clamped to the grid. Indexed
+// points always map without clamping; clamping only matters for query
+// coordinates outside the point set's bounding box.
+func (g *GridIndex) cellCol(x float64) int {
+	c := int(math.Floor((x - g.minX) / g.cellSize))
+	if c < 0 {
+		return 0
+	}
+	if c >= g.cols {
+		return g.cols - 1
+	}
+	return c
+}
+
+func (g *GridIndex) cellRow(y float64) int {
+	r := int(math.Floor((y - g.minY) / g.cellSize))
+	if r < 0 {
+		return 0
+	}
+	if r >= g.rows {
+		return g.rows - 1
+	}
+	return r
+}
+
+// Near appends to dst the indices of every point whose cell overlaps the
+// disk of the given radius around p, in ascending index order, and returns
+// the extended slice. The result is a superset of the points within
+// radius — callers filter by exact distance — and is byte-identical to a
+// full scan filtered the same way, which is what keeps grid-built
+// scenarios equal to brute-force-built ones.
+func (g *GridIndex) Near(p Point, radius float64, dst []int32) []int32 {
+	if radius < 0 {
+		return dst
+	}
+	reach := int(math.Ceil(radius / g.cellSize))
+	// Unclamped cell coordinates keep the window correct for query points
+	// outside the indexed bounding box.
+	cx := int(math.Floor((p.X - g.minX) / g.cellSize))
+	cy := int(math.Floor((p.Y - g.minY) / g.cellSize))
+	c0, c1 := max(cx-reach, 0), min(cx+reach, g.cols-1)
+	r0, r1 := max(cy-reach, 0), min(cy+reach, g.rows-1)
+	if c0 > c1 || r0 > r1 {
+		return dst
+	}
+	start := len(dst)
+	for r := r0; r <= r1; r++ {
+		row := g.cells[r*g.cols : (r+1)*g.cols]
+		for c := c0; c <= c1; c++ {
+			dst = append(dst, row[c]...)
+		}
+	}
+	// Buckets are individually ascending but interleave across rows;
+	// restore the global index order the naive scan would produce.
+	slices.Sort(dst[start:])
+	return dst
+}

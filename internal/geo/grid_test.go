@@ -1,0 +1,89 @@
+package geo
+
+import (
+	"slices"
+	"testing"
+
+	"dmra/internal/rng"
+)
+
+// bruteNear is the reference: every index whose point lies within radius.
+func bruteNear(pts []Point, p Point, radius float64) []int32 {
+	var out []int32
+	for i, q := range pts {
+		if p.DistanceTo(q) <= radius {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// TestGridIndexNearCoversBruteForce checks the index contract on random
+// point sets: Near returns a sorted superset of the in-radius points, so a
+// caller that filters by exact distance reproduces the brute-force scan.
+func TestGridIndexNearCoversBruteForce(t *testing.T) {
+	src := rng.New(7).SplitLabeled("grid-test")
+	area := NewArea(1200, 900)
+	for _, n := range []int{0, 1, 5, 40, 300} {
+		pts := area.RandomPoints(src, n)
+		for _, cell := range []float64{50, 200, 450, 5000} {
+			g := NewGridIndex(pts, cell)
+			queries := append(area.RandomPoints(src, 20),
+				Point{X: -500, Y: -500},  // far outside the bounding box
+				Point{X: 3000, Y: 200},   // outside on one axis
+				Point{X: 600, Y: 450},    // interior
+			)
+			for _, q := range queries {
+				for _, radius := range []float64{0, 30, 150, 450, 2500} {
+					got := g.Near(q, radius, nil)
+					if !slices.IsSorted(got) {
+						t.Fatalf("n=%d cell=%g: Near output not sorted: %v", n, cell, got)
+					}
+					seen := make(map[int32]bool, len(got))
+					for _, i := range got {
+						if seen[i] {
+							t.Fatalf("n=%d cell=%g: duplicate index %d", n, cell, i)
+						}
+						seen[i] = true
+					}
+					for _, want := range bruteNear(pts, q, radius) {
+						if !seen[want] {
+							t.Fatalf("n=%d cell=%g q=%v r=%g: index %d within radius but missing from Near",
+								n, cell, q, radius, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGridIndexNearAppends checks that Near appends to the caller's slice
+// (the scratch-reuse contract link building relies on).
+func TestGridIndexNearAppends(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1}, {X: 2, Y: 2}}
+	g := NewGridIndex(pts, 10)
+	dst := make([]int32, 0, 8)
+	dst = append(dst, 99)
+	dst = g.Near(Point{X: 1, Y: 1}, 5, dst)
+	if dst[0] != 99 {
+		t.Fatalf("Near clobbered existing prefix: %v", dst)
+	}
+	if len(dst) != 3 {
+		t.Fatalf("Near appended %d entries, want 2 (got %v)", len(dst)-1, dst)
+	}
+}
+
+// TestGridIndexSparseHugeExtent checks the cell-table bound: two points a
+// continent apart must not allocate a huge grid.
+func TestGridIndexSparseHugeExtent(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1e7, Y: 1e7}}
+	g := NewGridIndex(pts, 1)
+	if got := len(g.cells); got > 4*len(pts)+64 {
+		t.Fatalf("grid allocated %d cells for 2 points", got)
+	}
+	got := g.Near(Point{X: 1e7, Y: 1e7}, 10, nil)
+	if !slices.Contains(got, int32(1)) {
+		t.Fatalf("Near missed the far point: %v", got)
+	}
+}

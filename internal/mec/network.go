@@ -4,7 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"dmra/internal/geo"
 	"dmra/internal/radio"
 )
 
@@ -137,53 +141,122 @@ func (n *Network) validate() error {
 // buildLinks computes B_u, f_u, and the per-link quantities for every
 // reachable service-compatible pair, and enforces the SP-profitability
 // constraint (Eq. 16) on every candidate link.
+//
+// Instead of the all-pairs O(|UE|*|BS|) distance scan, BS positions go
+// into a uniform spatial grid (cell size = coverage radius) and each UE
+// examines only nearby cells, so per-UE work is proportional to local
+// coverage density. Large populations additionally fan across a worker
+// pool; each UE writes only its own pre-indexed slot and candidate BSs
+// are visited in ascending BS order, so the result is byte-identical to
+// the sequential brute-force build.
 func (n *Network) buildLinks() error {
 	n.links = make([][]Link, len(n.UEs))
 	n.coverCount = make([]int, len(n.UEs))
-	for u := range n.UEs {
-		ue := &n.UEs[u]
-		sp := &n.SPs[ue.SP]
-		var candidates []Link
-		for b := range n.BSs {
-			bs := &n.BSs[b]
-			if !bs.Hosts(ue.Service) {
-				continue
+	if len(n.UEs) == 0 || len(n.BSs) == 0 {
+		return nil
+	}
+	pts := make([]geo.Point, len(n.BSs))
+	for b := range n.BSs {
+		pts[b] = n.BSs[b].Pos
+	}
+	grid := geo.NewGridIndex(pts, n.Radio.CoverageRadiusM)
+
+	workers := runtime.GOMAXPROCS(0)
+	if w := len(n.UEs) * len(n.BSs) / parallelBuildThreshold; w < workers {
+		workers = w
+	}
+	if workers <= 1 {
+		var near []int32
+		for u := range n.UEs {
+			var err error
+			if near, err = n.buildLinksForUE(u, grid, near); err != nil {
+				return err
 			}
-			d := ue.Pos.DistanceTo(bs.Pos)
-			if !n.Radio.Covers(d) {
-				continue
-			}
-			shadow := n.Radio.ShadowDB(u, b)
-			rrbs, err := n.Radio.RRBsNeededWith(d, ue.RateBps, shadow)
-			if err != nil {
-				// Covered but rate-unreachable: treat as out of range.
-				continue
-			}
-			if rrbs > bs.MaxRRBs {
-				// The UE alone would exceed the BS's whole radio budget.
-				continue
-			}
-			price := n.PricePerCRU(ue.SP == bs.SP, d)
-			if sp.CRUPrice <= price+sp.OtherCostPerCRU {
-				return fmt.Errorf(
-					"mec: Eq. 16 violated: SP %d price %g <= p_{%d,%d} %g + other cost %g",
-					ue.SP, sp.CRUPrice, b, u, price, sp.OtherCostPerCRU)
-			}
-			candidates = append(candidates, Link{
-				UE:          UEID(u),
-				BS:          BSID(b),
-				DistanceM:   d,
-				RRBs:        rrbs,
-				PricePerCRU: price,
-				SameSP:      ue.SP == bs.SP,
-				SINR:        n.Radio.SINRWith(d, shadow),
-				ShadowDB:    shadow,
-			})
 		}
-		n.links[u] = candidates
-		n.coverCount[u] = len(candidates)
+		return nil
+	}
+
+	// errs[u] keeps the error deterministic: the lowest-index failure is
+	// returned, exactly what the sequential loop would surface first.
+	errs := make([]error, len(n.UEs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var near []int32
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= len(n.UEs) {
+					return
+				}
+				near, errs[u] = n.buildLinksForUE(u, grid, near)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// parallelBuildThreshold is the UE*BS product below which buildLinks runs
+// sequentially: tiny scenarios finish faster than goroutines spin up.
+const parallelBuildThreshold = 1 << 14
+
+// buildLinksForUE fills links[u] and coverCount[u], reusing near as the
+// grid-query scratch buffer; it returns the (possibly grown) scratch.
+// Candidates come out in ascending BS order — the order Link's binary
+// search and the allocators' tie-breaking both rely on.
+func (n *Network) buildLinksForUE(u int, grid *geo.GridIndex, near []int32) ([]int32, error) {
+	ue := &n.UEs[u]
+	sp := &n.SPs[ue.SP]
+	near = grid.Near(ue.Pos, n.Radio.CoverageRadiusM, near[:0])
+	var candidates []Link
+	for _, b32 := range near {
+		b := int(b32)
+		bs := &n.BSs[b]
+		if !bs.Hosts(ue.Service) {
+			continue
+		}
+		d := ue.Pos.DistanceTo(bs.Pos)
+		if !n.Radio.Covers(d) {
+			continue
+		}
+		shadow := n.Radio.ShadowDB(u, b)
+		rrbs, err := n.Radio.RRBsNeededWith(d, ue.RateBps, shadow)
+		if err != nil {
+			// Covered but rate-unreachable: treat as out of range.
+			continue
+		}
+		if rrbs > bs.MaxRRBs {
+			// The UE alone would exceed the BS's whole radio budget.
+			continue
+		}
+		price := n.PricePerCRU(ue.SP == bs.SP, d)
+		if sp.CRUPrice <= price+sp.OtherCostPerCRU {
+			return near, fmt.Errorf(
+				"mec: Eq. 16 violated: SP %d price %g <= p_{%d,%d} %g + other cost %g",
+				ue.SP, sp.CRUPrice, b, u, price, sp.OtherCostPerCRU)
+		}
+		candidates = append(candidates, Link{
+			UE:          UEID(u),
+			BS:          BSID(b),
+			DistanceM:   d,
+			RRBs:        rrbs,
+			PricePerCRU: price,
+			SameSP:      ue.SP == bs.SP,
+			SINR:        n.Radio.SINRWith(d, shadow),
+			ShadowDB:    shadow,
+		})
+	}
+	n.links[u] = candidates
+	n.coverCount[u] = len(candidates)
+	return near, nil
 }
 
 // PricePerCRU evaluates Eq. 9-10 for a (sameSP, distance) pair.
@@ -209,12 +282,22 @@ func (n *Network) Candidates(u UEID) []Link {
 }
 
 // Link returns the precomputed link between UE u and BS b, if b is one of
-// u's candidates.
+// u's candidates. Candidate lists are sorted by BS, so the lookup is a
+// binary search — this sits on the protocol/wire request path, where the
+// old linear scan was O(f_u) per message.
 func (n *Network) Link(u UEID, b BSID) (Link, bool) {
-	for _, l := range n.links[u] {
-		if l.BS == b {
-			return l, true
+	ls := n.links[u]
+	lo, hi := 0, len(ls)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ls[mid].BS < b {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(ls) && ls[lo].BS == b {
+		return ls[lo], true
 	}
 	return Link{}, false
 }

@@ -56,29 +56,61 @@ type State struct {
 	remCRU [][]int
 	// remRRB[b] is N_b minus RRBs already granted.
 	remRRB []int
+	// version[b] counts residual mutations of BS b (grants and releases).
+	// Preference caches compare it against the version they scored at to
+	// skip re-evaluating Eq. 17 for BSs that did not change. One counter
+	// per BS is the exact granularity: every grant debits the RRB pool,
+	// which enters every service's Eq. 17 denominator, so a per-service
+	// split could never mark fewer UEs stale.
+	version []uint64
 	// assignment is the current partial matching.
 	assignment Assignment
 	// rrbsUsed[u] records the RRBs granted to UE u (for release).
 	rrbsUsed []int
+	// invariantCRU/invariantRRB are CheckInvariants' recount scratch,
+	// allocated on first use and reused so steady-state verification is
+	// allocation-free.
+	invariantCRU []int
+	invariantRRB []int
 }
 
 // NewState returns a fresh ledger over net with all resources available
 // and every UE unassigned.
 func NewState(net *Network) *State {
-	s := &State{
-		net:        net,
-		remCRU:     make([][]int, len(net.BSs)),
-		remRRB:     make([]int, len(net.BSs)),
-		assignment: NewAssignment(len(net.UEs)),
-		rrbsUsed:   make([]int, len(net.UEs)),
+	s := &State{}
+	s.Reset(net)
+	return s
+}
+
+// Reset rewinds the ledger to the all-available, all-unassigned start
+// state over net, reusing the existing backing storage when the scenario
+// shapes match. Allocators that pool their run state call this instead of
+// NewState to keep repeated runs allocation-free.
+func (s *State) Reset(net *Network) {
+	s.net = net
+	if len(s.remCRU) != len(net.BSs) {
+		s.remCRU = make([][]int, len(net.BSs))
+		s.remRRB = make([]int, len(net.BSs))
+		s.version = make([]uint64, len(net.BSs))
 	}
 	for b := range net.BSs {
 		caps := net.BSs[b].CRUCapacity
-		s.remCRU[b] = make([]int, len(caps))
+		if len(s.remCRU[b]) != len(caps) {
+			s.remCRU[b] = make([]int, len(caps))
+		}
 		copy(s.remCRU[b], caps)
 		s.remRRB[b] = net.BSs[b].MaxRRBs
+		s.version[b] = 0
 	}
-	return s
+	if len(s.rrbsUsed) != len(net.UEs) {
+		s.assignment = NewAssignment(len(net.UEs))
+		s.rrbsUsed = make([]int, len(net.UEs))
+		return
+	}
+	for u := range s.rrbsUsed {
+		s.assignment.ServingBS[u] = CloudBS
+		s.rrbsUsed[u] = 0
+	}
 }
 
 // Network returns the immutable scenario this state allocates over.
@@ -92,6 +124,20 @@ func (s *State) RemainingCRU(b BSID, j ServiceID) int {
 // RemainingRRBs returns the unallocated radio blocks of BS b.
 func (s *State) RemainingRRBs(b BSID) int {
 	return s.remRRB[b]
+}
+
+// Residual returns BS b's remaining CRUs for service j and remaining RRBs
+// in one call — the two Eq. 17 inputs that change during matching.
+func (s *State) Residual(b BSID, j ServiceID) (remCRU, remRRBs int) {
+	return s.remCRU[b][j], s.remRRB[b]
+}
+
+// ResidualVersion returns the mutation counter of BS b's residuals. It
+// starts at 0 and increments on every grant or release touching b, so a
+// cached Eq. 17 score is current iff the version it was computed at still
+// matches.
+func (s *State) ResidualVersion(b BSID) uint64 {
+	return s.version[b]
 }
 
 // ServingBS returns the BS currently serving UE u, or CloudBS.
@@ -147,6 +193,7 @@ func (s *State) Assign(u UEID, b BSID) error {
 	s.remRRB[b] -= l.RRBs
 	s.assignment.ServingBS[u] = b
 	s.rrbsUsed[u] = l.RRBs
+	s.version[b]++
 	return nil
 }
 
@@ -163,6 +210,7 @@ func (s *State) Unassign(u UEID) {
 	s.remRRB[b] += s.rrbsUsed[u]
 	s.rrbsUsed[u] = 0
 	s.assignment.ServingBS[u] = CloudBS
+	s.version[b]++
 }
 
 // Snapshot returns a copy of the current assignment.
@@ -170,15 +218,37 @@ func (s *State) Snapshot() Assignment {
 	return s.assignment.Clone()
 }
 
+// SnapshotInto copies the current assignment into dst, reusing dst's
+// backing storage when it is large enough, and returns the result. It is
+// Snapshot for callers that recycle result objects across runs.
+func (s *State) SnapshotInto(dst Assignment) Assignment {
+	n := len(s.assignment.ServingBS)
+	if cap(dst.ServingBS) < n {
+		dst.ServingBS = make([]BSID, n)
+	}
+	dst.ServingBS = dst.ServingBS[:n]
+	copy(dst.ServingBS, s.assignment.ServingBS)
+	return dst
+}
+
 // CheckInvariants verifies the TPM constraints (Eq. 12-15) against the
 // ledger and returns the first violation. It recomputes resource usage from
 // scratch rather than trusting the incremental counters, so it also detects
 // ledger corruption.
 func (s *State) CheckInvariants() error {
-	usedCRU := make([][]int, len(s.net.BSs))
-	usedRRB := make([]int, len(s.net.BSs))
-	for b := range s.net.BSs {
-		usedCRU[b] = make([]int, s.net.Services)
+	// Flat per-(BS, service) scratch, kept on the State so per-round
+	// verification in the hot loop does not allocate.
+	if len(s.invariantCRU) != len(s.net.BSs)*s.net.Services {
+		s.invariantCRU = make([]int, len(s.net.BSs)*s.net.Services)
+		s.invariantRRB = make([]int, len(s.net.BSs))
+	}
+	usedCRU := s.invariantCRU
+	usedRRB := s.invariantRRB
+	for i := range usedCRU {
+		usedCRU[i] = 0
+	}
+	for i := range usedRRB {
+		usedRRB[i] = 0
 	}
 	for u := range s.net.UEs {
 		b := s.assignment.ServingBS[u]
@@ -190,18 +260,19 @@ func (s *State) CheckInvariants() error {
 			return fmt.Errorf("mec: invariant: UE %d assigned to non-candidate BS %d (Eq. 13)", u, b)
 		}
 		ue := &s.net.UEs[u]
-		usedCRU[b][ue.Service] += ue.CRUDemand
+		usedCRU[int(b)*s.net.Services+int(ue.Service)] += ue.CRUDemand
 		usedRRB[b] += l.RRBs
 	}
 	for b := range s.net.BSs {
 		for j := 0; j < s.net.Services; j++ {
 			cap := s.net.BSs[b].CRUCapacity[j]
-			if usedCRU[b][j] > cap {
-				return fmt.Errorf("mec: invariant: BS %d service %d uses %d/%d CRUs (Eq. 12)", b, j, usedCRU[b][j], cap)
+			used := usedCRU[b*s.net.Services+j]
+			if used > cap {
+				return fmt.Errorf("mec: invariant: BS %d service %d uses %d/%d CRUs (Eq. 12)", b, j, used, cap)
 			}
-			if s.remCRU[b][j] != cap-usedCRU[b][j] {
+			if s.remCRU[b][j] != cap-used {
 				return fmt.Errorf("mec: invariant: BS %d service %d ledger says %d CRUs left, recount says %d",
-					b, j, s.remCRU[b][j], cap-usedCRU[b][j])
+					b, j, s.remCRU[b][j], cap-used)
 			}
 		}
 		if usedRRB[b] > s.net.BSs[b].MaxRRBs {

@@ -19,8 +19,11 @@ type Recorder struct {
 	cloud      *Counter
 	broadcasts *Counter
 
-	unmatched *Gauge
-	taskHist  *Histogram
+	unmatched   *Gauge
+	taskHist    *Histogram
+	prefEval    *Counter
+	prefRescore *Counter
+	prefHitRate *Gauge
 }
 
 // NewRecorder bundles a registry and a trace sink (either may be nil; a
@@ -38,6 +41,10 @@ func NewRecorder(reg *Registry, sink *Sink) *Recorder {
 		broadcasts: reg.Counter("dmra_broadcasts_total"),
 		unmatched:  reg.Gauge("dmra_unmatched_ues"),
 		taskHist:   reg.Histogram("exp_task_seconds", DefaultLatencyBuckets()),
+
+		prefEval:    reg.Counter("dmra_pref_evaluations_total"),
+		prefRescore: reg.Counter("dmra_pref_rescores_total"),
+		prefHitRate: reg.Gauge("dmra_pref_cache_hit_rate"),
 	}
 }
 
@@ -109,6 +116,22 @@ func (r *Recorder) Unmatched(n int) {
 		return
 	}
 	r.unmatched.Set(float64(n))
+}
+
+// PrefCacheRound records one matching round of the incremental Eq. 17
+// preference cache: evaluations is what a naive full sweep would have
+// cost, rescored is the evaluations actually performed. The hit-rate
+// gauge holds the fraction of evaluations the cache avoided this round.
+// No-op on a nil recorder.
+func (r *Recorder) PrefCacheRound(evaluations, rescored int64) {
+	if r == nil {
+		return
+	}
+	r.prefEval.Add(evaluations)
+	r.prefRescore.Add(rescored)
+	if evaluations > 0 {
+		r.prefHitRate.Set(1 - float64(rescored)/float64(evaluations))
+	}
 }
 
 // TaskDone records one experiment-grid task: its latency lands in the

@@ -114,26 +114,27 @@ type bsView struct {
 // ueAgent is a user-equipment actor.
 type ueAgent struct {
 	id mec.UEID
-	// cands are indices into net.Candidates(id) still under consideration.
-	cands []int
-	// views[k] mirrors cands[k]'s BS resources as last broadcast.
+	// views[b] mirrors candidate BS b's resources as last broadcast.
 	views map[mec.BSID]*bsView
+	// vers aliases the runner's per-BS broadcast counters, making the
+	// agent an alloc.ResidualView: the preference cache re-scores a BS
+	// only after a new broadcast has been applied. A UE whose reception
+	// was lost re-scores against its unchanged view — a wasted but
+	// correct evaluation, never a stale result.
+	vers []uint64
 	// servedBy is CloudBS until an Accept arrives.
 	servedBy mec.BSID
 	assigned bool
 }
 
-// dropBS removes a BS from the agent's candidate set (on a permanent
-// resource reject).
-func (a *ueAgent) dropBS(net *mec.Network, bs mec.BSID) {
-	all := net.Candidates(a.id)
-	for pos, k := range a.cands {
-		if all[k].BS == bs {
-			a.cands = append(a.cands[:pos], a.cands[pos+1:]...)
-			return
-		}
-	}
+// Residual implements alloc.ResidualView over the agent's local views.
+func (a *ueAgent) Residual(b mec.BSID, j mec.ServiceID) (remCRU, remRRBs int) {
+	v := a.views[b]
+	return v.remCRU[j], v.remRRB
 }
+
+// ResidualVersion implements alloc.ResidualView.
+func (a *ueAgent) ResidualVersion(b mec.BSID) uint64 { return a.vers[b] }
 
 // bsAgent is a base-station actor with a private resource ledger.
 type bsAgent struct {
@@ -180,6 +181,17 @@ type runner struct {
 	loss   *rng.Source
 	res    Result
 
+	// pref caches Eq. 17 scores per UE against the UEs' local views; it
+	// is the same incremental scorer the synchronous solver uses, so the
+	// runtimes share one preference implementation.
+	pref *alloc.PrefScorer
+	// vers[b] counts applied broadcasts of BS b; ueAgent exposes it as
+	// the ResidualVersion the scorer keys its cache on.
+	vers []uint64
+	// lastScanned/lastRescored are cache-counter checkpoints for the
+	// per-round observability delta.
+	lastScanned, lastRescored uint64
+
 	// requestsThisRound implements the termination converge-cast: in a
 	// deployment this would be a timeout at the SP layer; in simulation the
 	// controller counts the round's requests directly.
@@ -199,18 +211,19 @@ func (r *runner) lost() bool {
 }
 
 func (r *runner) setup() {
+	r.pref = alloc.NewPrefScorer(r.net, r.cfg.DMRA)
+	r.vers = make([]uint64, len(r.net.BSs))
 	r.ues = make([]*ueAgent, len(r.net.UEs))
 	for u := range r.net.UEs {
 		uid := mec.UEID(u)
 		cands := r.net.Candidates(uid)
 		agent := &ueAgent{
 			id:       uid,
-			cands:    make([]int, len(cands)),
 			views:    make(map[mec.BSID]*bsView, len(cands)),
+			vers:     r.vers,
 			servedBy: mec.CloudBS,
 		}
-		for k, l := range cands {
-			agent.cands[k] = k
+		for _, l := range cands {
 			// Initial views come from the deployment-time capacity
 			// announcement (Alg. 1 assumes B_u and capacities known).
 			bs := &r.net.BSs[l.BS]
@@ -327,25 +340,19 @@ func (r *runner) startRound(round int, protocolErr *error) {
 // propose picks the UE's best candidate from its local view, dropping
 // candidates its view says are exhausted (Alg. 1 lines 4-10).
 func (r *runner) propose(agent *ueAgent) (alloc.Request, bool) {
-	all := r.net.Candidates(agent.id)
-	for len(agent.cands) > 0 {
-		bestPos, bestV := -1, 0.0
-		var bestLink mec.Link
-		for pos, k := range agent.cands {
-			l := all[k]
-			v := r.cfg.DMRA.Preference(l, agent.views[l.BS].remCRU[r.net.UEs[l.UE].Service], agent.views[l.BS].remRRB)
-			if bestPos < 0 || v < bestV {
-				bestPos, bestV, bestLink = pos, v, l
-			}
+	ue := &r.net.UEs[agent.id]
+	for !r.pref.Empty(agent.id) {
+		k, link, ok := r.pref.Best(agent.id, agent)
+		if !ok {
+			break
 		}
-		view := agent.views[bestLink.BS]
-		ue := &r.net.UEs[agent.id]
-		if view.remCRU[ue.Service] >= ue.CRUDemand && view.remRRB >= bestLink.RRBs {
-			return alloc.Request{Link: bestLink, Fu: r.net.CoverCount(agent.id)}, true
+		view := agent.views[link.BS]
+		if view.remCRU[ue.Service] >= ue.CRUDemand && view.remRRB >= link.RRBs {
+			return alloc.Request{Link: link, Fu: r.net.CoverCount(agent.id)}, true
 		}
 		// The view says this BS can no longer take us; resources never
 		// grow back, so drop it permanently.
-		agent.cands = append(agent.cands[:bestPos], agent.cands[bestPos+1:]...)
+		r.pref.Drop(agent.id, k)
 	}
 	r.trace("cloud", r.res.Rounds, agent.id, mec.CloudBS)
 	r.observe(obs.KindCloudFallback, r.res.Rounds, agent.id, mec.CloudBS)
@@ -423,6 +430,9 @@ func (r *runner) selectPhase(round int) {
 			admitted += len(bs.admitted)
 		}
 		r.cfg.Obs.Unmatched(len(r.ues) - admitted)
+		scanned, rescored := r.pref.CacheStats()
+		r.cfg.Obs.PrefCacheRound(int64(scanned-r.lastScanned), int64(rescored-r.lastRescored))
+		r.lastScanned, r.lastRescored = scanned, rescored
 	}
 }
 
@@ -462,7 +472,7 @@ func (r *runner) sendReject(round int, bs *bsAgent, u mec.UEID, permanent bool) 
 	agent := r.ues[u]
 	bsID := bs.id
 	r.engine.Schedule(r.cfg.LatencyS, func() {
-		agent.dropBS(r.net, bsID)
+		r.pref.DropBS(agent.id, bsID)
 	})
 }
 
@@ -492,5 +502,9 @@ func (r *runner) broadcast(round int, bs *bsAgent) {
 				v.remRRB = remRRB
 			}
 		}
+		// Invalidate cached Eq. 17 scores for this BS. Conservative under
+		// loss: a UE that missed the reception re-scores its unchanged
+		// view, which costs an evaluation but stays exact.
+		r.vers[bsID]++
 	})
 }

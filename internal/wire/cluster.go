@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -56,14 +55,27 @@ func (c countingConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// ueState is the coordinator-hosted thin UE agent: candidate list plus
-// the broadcast-derived view of each candidate BS.
+// ueState is the coordinator-hosted thin UE agent: the broadcast-derived
+// view of each candidate BS (the shrinking candidate list itself lives in
+// the shared alloc.PrefScorer).
 type ueState struct {
-	cands    []int // indices into net.Candidates(id)
-	views    map[mec.BSID]*view
+	id    mec.UEID
+	views map[mec.BSID]*view
+	// vers aliases the coordinator's per-BS response counters, making the
+	// state an alloc.ResidualView for the preference cache.
+	vers     []uint64
 	assigned bool
 	servedBy mec.BSID
 }
+
+// Residual implements alloc.ResidualView over the UE's local views.
+func (st *ueState) Residual(b mec.BSID, j mec.ServiceID) (remCRU, remRRBs int) {
+	v := st.views[b]
+	return v.remCRU[j], v.remRRB
+}
+
+// ResidualVersion implements alloc.ResidualView.
+func (st *ueState) ResidualVersion(b mec.BSID) uint64 { return st.vers[b] }
 
 type view struct {
 	remCRU []int
@@ -118,16 +130,19 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 		conns[b] = countingConn{Conn: conn, sent: &perSent[b], received: &perRecv[b]}
 	}
 
+	pref := alloc.NewPrefScorer(net_, cfg)
+	vers := make([]uint64, len(net_.BSs))
+	var lastScanned, lastRescored uint64
 	ues := make([]*ueState, len(net_.UEs))
 	for u := range net_.UEs {
 		cands := net_.Candidates(mec.UEID(u))
 		st := &ueState{
-			cands:    make([]int, len(cands)),
+			id:       mec.UEID(u),
 			views:    make(map[mec.BSID]*view, len(cands)),
+			vers:     vers,
 			servedBy: mec.CloudBS,
 		}
-		for k, l := range cands {
-			st.cands[k] = k
+		for _, l := range cands {
 			bs := &net_.BSs[l.BS]
 			v := &view{remCRU: make([]int, len(bs.CRUCapacity)), remRRB: bs.MaxRRBs}
 			copy(v.remCRU, bs.CRUCapacity)
@@ -158,7 +173,7 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 				continue
 			}
 			uid := mec.UEID(u)
-			req, bsID, ok := propose(net_, cfg, uid, st)
+			req, bsID, ok := propose(net_, pref, uid, st)
 			if !ok {
 				rec.Event(obs.KindCloudFallback, round, u, int(mec.CloudBS))
 				continue
@@ -208,7 +223,7 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 					rec.Event(obs.KindRejectPermanent, round, int(v.UE), b)
 					// A trimmed-but-still-feasible request keeps the BS
 					// as a candidate and may retry next round.
-					dropCandidate(net_, v.UE, st, mec.BSID(b))
+					pref.DropBS(v.UE, mec.BSID(b))
 				} else {
 					rec.Event(obs.KindRejectTrim, round, int(v.UE), b)
 				}
@@ -220,6 +235,8 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 					vw.remRRB = resp.RemainingRRBs
 				}
 			}
+			// Invalidate cached Eq. 17 scores against this BS's view.
+			vers[b]++
 			if rec != nil {
 				crus := 0
 				for _, c := range resp.RemainingCRU {
@@ -236,6 +253,9 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 				}
 			}
 			rec.Unmatched(unmatched)
+			scanned, rescored := pref.CacheStats()
+			rec.PrefCacheRound(int64(scanned-lastScanned), int64(rescored-lastRescored))
+			lastScanned, lastRescored = scanned, rescored
 		}
 	}
 
@@ -268,47 +288,31 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 	return res, nil
 }
 
-// propose picks the UE's best candidate from its local view, pruning
-// view-infeasible BSs (Alg. 1 lines 4-10).
-func propose(net_ *mec.Network, cfg alloc.DMRAConfig, uid mec.UEID, st *ueState) (Request, mec.BSID, bool) {
-	all := net_.Candidates(uid)
+// propose picks the UE's best candidate from its local view via the
+// shared preference cache, pruning view-infeasible BSs (Alg. 1 lines
+// 4-10).
+func propose(net_ *mec.Network, pref *alloc.PrefScorer, uid mec.UEID, st *ueState) (Request, mec.BSID, bool) {
 	ue := &net_.UEs[uid]
-	for len(st.cands) > 0 {
-		bestPos := -1
-		bestV := math.Inf(1)
-		var bestLink mec.Link
-		for pos, k := range st.cands {
-			l := all[k]
-			vw := st.views[l.BS]
-			if v := cfg.Preference(l, vw.remCRU[ue.Service], vw.remRRB); v < bestV {
-				bestPos, bestV, bestLink = pos, v, l
-			}
+	for !pref.Empty(uid) {
+		k, link, ok := pref.Best(uid, st)
+		if !ok {
+			break
 		}
-		vw := st.views[bestLink.BS]
-		if vw.remCRU[ue.Service] >= ue.CRUDemand && vw.remRRB >= bestLink.RRBs {
+		vw := st.views[link.BS]
+		if vw.remCRU[ue.Service] >= ue.CRUDemand && vw.remRRB >= link.RRBs {
 			return Request{
 				UE:          uid,
 				Service:     ue.Service,
 				CRUs:        ue.CRUDemand,
-				RRBs:        bestLink.RRBs,
-				SameSP:      bestLink.SameSP,
+				RRBs:        link.RRBs,
+				SameSP:      link.SameSP,
 				Fu:          net_.CoverCount(uid),
-				PricePerCRU: bestLink.PricePerCRU,
-			}, bestLink.BS, true
+				PricePerCRU: link.PricePerCRU,
+			}, link.BS, true
 		}
-		st.cands = append(st.cands[:bestPos], st.cands[bestPos+1:]...)
+		pref.Drop(uid, k)
 	}
 	return Request{}, 0, false
-}
-
-func dropCandidate(net_ *mec.Network, uid mec.UEID, st *ueState, bs mec.BSID) {
-	all := net_.Candidates(uid)
-	for pos, k := range st.cands {
-		if all[k].BS == bs {
-			st.cands = append(st.cands[:pos], st.cands[pos+1:]...)
-			return
-		}
-	}
 }
 
 // exchange performs one framed request/response on a connection.

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// buildScales holds the |BS| sweep for BenchmarkNewNetwork. The area grows
+// with the BS count so coverage density stays constant: an all-pairs link
+// build is O(|UE|*|BS|) across the sweep, while the grid-indexed build
+// stays proportional to |UE| * (BSs within coverage) — the gap widens
+// superlinearly with scale.
+func buildScales() []struct {
+	name string
+	cfg  Config
+} {
+	mk := func(spMul int) Config {
+		cfg := Default()
+		cfg.SPs *= spMul
+		cfg.BSsPerSP *= spMul
+		cfg.AreaWidthM *= float64(spMul)
+		cfg.AreaHeightM *= float64(spMul)
+		cfg.UEs *= spMul * spMul // constant UE density
+		return cfg
+	}
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"25bs-600ue", mk(1)},
+		{"100bs-2400ue", mk(2)},
+		{"400bs-9600ue", mk(4)},
+	}
+}
+
+// BenchmarkNewNetwork times full scenario construction (placement,
+// validation, and the grid-indexed candidate-link build) across the BS
+// scale sweep.
+func BenchmarkNewNetwork(b *testing.B) {
+	for _, sc := range buildScales() {
+		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.cfg.Build(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestWriteNetworkBenchBaseline appends the BenchmarkNewNetwork sweep as
+// one JSON line to the file named by BENCH_BASELINE (skipped when unset).
+// Run via `make bench`.
+func TestWriteNetworkBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	cases := map[string]any{}
+	for _, sc := range buildScales() {
+		cfg := sc.cfg
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.Build(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cases[sc.name] = map[string]any{"ns_op": r.NsPerOp()}
+	}
+	baseline := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339),
+		"benchmark":  "BenchmarkNewNetwork",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"cases":      cases,
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended BenchmarkNewNetwork baseline to %s", path)
+}

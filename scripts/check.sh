@@ -1,15 +1,25 @@
 #!/bin/sh
 # Full verification gate: vet plus the race-enabled test suite, which
-# exercises the parallel experiment engine at several worker counts, and
-# the telemetry-determinism gate, which proves that attaching the
+# exercises the parallel experiment engine at several worker counts, a
+# one-iteration smoke run of the hot-path benchmarks, and the
+# telemetry-determinism gate, which proves that attaching the
 # observability layer does not change a single byte of experiment output.
 # Equivalent to `make check`.
 #
 # Usage:
-#   scripts/check.sh                   vet + race suite + obs determinism
+#   scripts/check.sh                   vet + race suite + bench smoke + obs determinism
 #   scripts/check.sh obs-determinism   only the telemetry gate
+#   scripts/check.sh bench-smoke       only the one-iteration benchmark smoke run
 set -eu
 cd "$(dirname "$0")/.."
+
+bench_smoke() {
+	# One iteration of each hot-path benchmark: catches benchmarks that
+	# panic or scenarios that no longer build, without timing anything.
+	go test -run '^$' -bench 'BenchmarkAllocate$|BenchmarkNewNetwork$' \
+		-benchtime 1x ./internal/alloc/ ./internal/workload/
+	echo "bench smoke: BenchmarkAllocate and BenchmarkNewNetwork ran clean"
+}
 
 obs_determinism() {
 	# Run one figure twice — plain, and with the full observability stack
@@ -26,11 +36,18 @@ obs_determinism() {
 	echo "obs determinism: fig2 tables byte-identical with and without telemetry"
 }
 
-if [ "${1:-}" = "obs-determinism" ]; then
+case "${1:-}" in
+obs-determinism)
 	obs_determinism
 	exit 0
-fi
+	;;
+bench-smoke)
+	bench_smoke
+	exit 0
+	;;
+esac
 
 go vet ./...
 go test -race ./...
+bench_smoke
 obs_determinism
