@@ -30,6 +30,7 @@ bench:
 	$(GO) test ./internal/exp/ -bench 'BenchmarkFigureRun|BenchmarkFigureRunObserved' -benchmem -run '^$$'
 	$(GO) test ./internal/alloc/ -bench 'BenchmarkAllocate$$|BenchmarkAllocateNaive$$' -benchmem -run '^$$'
 	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$' -benchmem -run '^$$'
+	$(GO) test ./internal/online/ -bench 'BenchmarkSession$$' -benchmem -run '^$$'
 	$(MAKE) bench-baseline
 
 # bench-baseline appends only the baseline lines (no benchmark table)
@@ -38,3 +39,4 @@ bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAllocBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/workload/ -run TestWriteNetworkBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteSessionBenchBaseline -v

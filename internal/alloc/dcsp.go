@@ -47,7 +47,7 @@ func (a *DCSP) Allocate(net *mec.Network) (Result, error) {
 	cands := newCandidateSet(net)
 	var stats Stats
 
-	inbox := make([][]Request, len(net.BSs))
+	inbox := make([][]dcspRequest, len(net.BSs))
 	for {
 		stats.Iterations++
 
@@ -63,7 +63,7 @@ func (a *DCSP) Allocate(net *mec.Network) (Result, error) {
 					break
 				}
 				if state.CanServe(uid, link.BS) {
-					inbox[link.BS] = append(inbox[link.BS], Request{
+					inbox[link.BS] = append(inbox[link.BS], dcspRequest{
 						Link: link,
 						Fu:   net.CoverCount(uid),
 					})
@@ -110,7 +110,15 @@ func (a *DCSP) Allocate(net *mec.Network) (Result, error) {
 	return Result{Assignment: state.Snapshot(), Stats: stats}, nil
 }
 
-func dcspPrefers(a, b Request) bool {
+// dcspRequest is DCSP's own proposal shape: the scheme predates the
+// flattened engine.Request and selects on the raw link.
+type dcspRequest struct {
+	Link mec.Link
+	// Fu is f_u, the number of BSs covering the UE.
+	Fu int
+}
+
+func dcspPrefers(a, b dcspRequest) bool {
 	if a.Fu != b.Fu {
 		return a.Fu < b.Fu
 	}

@@ -3,142 +3,32 @@ package alloc
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
+	"dmra/internal/engine"
 	"dmra/internal/mec"
 	"dmra/internal/obs"
 )
 
-// DMRAConfig parameterizes the DMRA scheme. The ablation switches exist to
-// measure what each Alg. 1 design choice contributes; the paper's algorithm
-// is the default configuration.
-type DMRAConfig struct {
-	// Rho is the weight of the remaining-resource term in the UE
-	// preference v_{u,i} (Eq. 17). Larger values push UEs towards BSs with
-	// more spare capacity; the paper sweeps it in Figs. 6-7.
-	Rho float64
-	// SPPriority enables the same-SP-first selection of Alg. 1 lines
-	// 13-16. Disabling it is ablation A1.
-	SPPriority bool
-	// FuTieBreak enables the smallest-f_u tie-break (prefer UEs with few
-	// alternative BSs). Disabling it is ablation A3.
-	FuTieBreak bool
-}
+// DMRAConfig parameterizes the DMRA scheme. It is the engine's Config
+// under the name the experiment layers have always used; see
+// internal/engine for the ablation-switch documentation.
+type DMRAConfig = engine.Config
 
 // DefaultDMRAConfig returns the paper's algorithm with a mid-sweep rho
 // (the Fig. 6 sweep peaks between rho = 250 and 1000 under the default
 // scenario; 250 performs well at both iota settings).
 func DefaultDMRAConfig() DMRAConfig {
-	return DMRAConfig{Rho: 250, SPPriority: true, FuTieBreak: true}
-}
-
-// Preference evaluates v_{u,i} (Eq. 17) from a UE's local view of BS
-// resources: price plus rho over the BS's remaining CRUs for the requested
-// service plus its remaining RRBs. An exhausted BS (denominator <= 0) is
-// infinitely unattractive. Both the synchronous solver and the
-// message-passing protocol in internal/protocol route their decisions
-// through this one function, which is what makes their outputs identical.
-func (c DMRAConfig) Preference(l mec.Link, remCRU, remRRBs int) float64 {
-	denom := float64(remCRU + remRRBs)
-	if denom <= 0 {
-		return math.Inf(1)
-	}
-	return l.PricePerCRU + c.Rho/denom
-}
-
-// Request is one UE->BS service request of an Alg. 1 iteration. It carries
-// what the paper's line 7 says a request carries: the link (location,
-// service, demands are derivable from it) and the UE's coverage count f_u.
-type Request struct {
-	Link mec.Link
-	// Fu is f_u, the number of BSs covering the UE.
-	Fu int
-}
-
-// SelectPerService picks, for every service with requesters, the single UE
-// the BS prefers (Alg. 1 lines 13-21): same-SP candidates first (if
-// enabled), then smallest f_u (if enabled), then smallest combined
-// footprint n_{u,i} + c_j^u, then lowest UE ID for determinism.
-func (c DMRAConfig) SelectPerService(net *mec.Network, reqs []Request) []Request {
-	byService := make(map[mec.ServiceID][]Request)
-	var services []mec.ServiceID
-	for _, r := range reqs {
-		j := net.UEs[r.Link.UE].Service
-		if _, seen := byService[j]; !seen {
-			services = append(services, j)
-		}
-		byService[j] = append(byService[j], r)
-	}
-	sort.Slice(services, func(a, b int) bool { return services[a] < services[b] })
-
-	selected := make([]Request, 0, len(services))
-	for _, j := range services {
-		group := byService[j]
-		if c.SPPriority {
-			if same := filterRequests(group, func(r Request) bool { return r.Link.SameSP }); len(same) > 0 {
-				group = same
-			}
-		}
-		if c.FuTieBreak {
-			group = argminRequests(group, func(r Request) int { return r.Fu })
-		}
-		group = argminRequests(group, func(r Request) int {
-			return r.Link.RRBs + net.UEs[r.Link.UE].CRUDemand
-		})
-		// Final deterministic tie-break: lowest UE ID.
-		best := group[0]
-		for _, cand := range group[1:] {
-			if cand.Link.UE < best.Link.UE {
-				best = cand
-			}
-		}
-		selected = append(selected, best)
-	}
-	return selected
-}
-
-// SortByBSPreference orders requests most-preferred-first by the BS's
-// criteria, for the radio-budget trimming of Alg. 1 lines 22-25.
-func (c DMRAConfig) SortByBSPreference(net *mec.Network, reqs []Request) {
-	// Insertion sort: stable, allocation-free, and the per-BS request
-	// lists it orders are at most one entry per service. sort.SliceStable
-	// would heap-allocate its closure on the admit-trim hot path.
-	for i := 1; i < len(reqs); i++ {
-		r := reqs[i]
-		k := i
-		for k > 0 && c.bsPrefers(net, r, reqs[k-1]) {
-			reqs[k] = reqs[k-1]
-			k--
-		}
-		reqs[k] = r
-	}
-}
-
-// bsPrefers orders two requests by the BS's preference (most preferred
-// first), mirroring the selection criteria.
-func (c DMRAConfig) bsPrefers(net *mec.Network, a, b Request) bool {
-	if c.SPPriority && a.Link.SameSP != b.Link.SameSP {
-		return a.Link.SameSP
-	}
-	if c.FuTieBreak && a.Fu != b.Fu {
-		return a.Fu < b.Fu
-	}
-	fa := a.Link.RRBs + net.UEs[a.Link.UE].CRUDemand
-	fb := b.Link.RRBs + net.UEs[b.Link.UE].CRUDemand
-	if fa != fb {
-		return fa < fb
-	}
-	return a.Link.UE < b.Link.UE
+	return engine.DefaultConfig()
 }
 
 // DMRA is the Decentralized Multi-SP Resource Allocation scheme (Alg. 1).
 //
-// This type is the synchronous in-memory solver: it executes the exact
-// propose/select rounds of the decentralized protocol against a shared
-// ledger. internal/protocol runs the same rounds as real message exchange
-// between UE/BS actors; the two are integration-tested to produce identical
-// assignments.
+// This type is the synchronous in-memory solver: it drives the canonical
+// round state machine of internal/engine against a shared ledger.
+// internal/protocol runs the same engine rounds as real message exchange
+// between UE/BS actors and internal/wire runs them over TCP; the three are
+// integration-tested to produce identical assignments.
 type DMRA struct {
 	cfg DMRAConfig
 	obs *obs.Recorder
@@ -152,19 +42,46 @@ type DMRA struct {
 	pool sync.Pool
 }
 
-// runState is the recycled per-run scratch of the cached engine: the
-// ledger, the preference cache, and every buffer the round loop needs, so
-// a steady-state Allocate performs no heap allocations with a nil
-// observer.
+// stateLedger adapts one BS's slice of the shared mec.State to the
+// engine.Ledger the select phase admits against. It lives in the pooled
+// runState and is passed by pointer so the interface conversion never
+// allocates on the hot path.
+type stateLedger struct {
+	state *mec.State
+	bs    mec.BSID
+}
+
+// Residual implements engine.Ledger.
+func (l *stateLedger) Residual(j mec.ServiceID) (remCRU, remRRBs int) {
+	return l.state.Residual(l.bs, j)
+}
+
+// Admit implements engine.Ledger by granting through the shared state,
+// which enforces the capacity constraints once more. The engine only
+// admits after a Residual feasibility check, so a failure here is a real
+// bug, not a trim.
+func (l *stateLedger) Admit(r engine.Request) error {
+	return l.state.Assign(r.UE, l.bs)
+}
+
+// runState is the recycled per-run scratch of the cached engine driver:
+// the ledger, the proposer (with its preference cache), and every buffer
+// the round loop needs, so a steady-state Allocate performs no heap
+// allocations with a nil observer.
 type runState struct {
 	state *mec.State
-	pref  *PrefScorer
+	prop  *engine.Proposer
+	led   stateLedger
 	// inbox[b] collects the requests BS b received this iteration.
-	inbox [][]Request
-	// byService/touched/selected are the select-phase scratch.
-	byService [][]Request
-	touched   []mec.ServiceID
-	selected  []Request
+	inbox [][]engine.Request
+	// sel is the select-phase scratch shared across this run's BSs.
+	sel engine.SelectScratch
+	// pending holds the UEs that can still propose: unassigned with a
+	// non-empty candidate set. The nil-observer round loop iterates and
+	// compacts it in place, so late rounds — and online epochs, where
+	// most of the population is inactive with zero candidates — cost
+	// proportional to the contended UEs, not the whole population.
+	pending []mec.UEID
 	// lastScanned/lastRescored are the cache counters at the previous
 	// round boundary, for per-round observability deltas.
 	lastScanned, lastRescored uint64
@@ -217,18 +134,27 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 	}
 	rs, _ := d.pool.Get().(*runState)
 	if rs == nil {
-		rs = &runState{state: &mec.State{}, pref: &PrefScorer{}}
+		rs = &runState{state: &mec.State{}, prop: &engine.Proposer{}}
 	}
 	defer d.pool.Put(rs)
 	rs.state.Reset(net)
-	rs.pref.Reset(net, d.cfg)
+	rs.prop.Reset(net, d.cfg)
+	rs.led.state = rs.state
 	rs.lastScanned, rs.lastRescored = 0, 0
 	if cap(rs.inbox) < len(net.BSs) {
-		rs.inbox = make([][]Request, len(net.BSs))
+		rs.inbox = make([][]engine.Request, len(net.BSs))
 	}
 	rs.inbox = rs.inbox[:len(net.BSs)]
 	for b := range rs.inbox {
 		rs.inbox[b] = rs.inbox[b][:0]
+	}
+	rs.pending = rs.pending[:0]
+	if d.obs == nil {
+		for u := range net.UEs {
+			if uid := mec.UEID(u); !rs.prop.Empty(uid) {
+				rs.pending = append(rs.pending, uid)
+			}
+		}
 	}
 
 	var stats Stats
@@ -240,36 +166,45 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 
 		// --- Propose phase (Alg. 1 lines 3-10) ---
 		anyRequest := false
-		for u := range net.UEs {
-			uid := mec.UEID(u)
-			if rs.state.Assigned(uid) {
-				continue
-			}
-			proposed := false
-			for !rs.pref.Empty(uid) {
-				k, link, ok := rs.pref.Best(uid, rs.state)
-				if !ok {
-					break
+		if d.obs == nil {
+			// Fast path: iterate only UEs that can still propose,
+			// compacting the pending list in place. A UE leaves it on
+			// assignment or candidate exhaustion — exactly when the full
+			// scan below would stop producing requests for it — so the
+			// round count and every request batch are identical.
+			kept := rs.pending[:0]
+			for _, uid := range rs.pending {
+				if rs.state.Assigned(uid) {
+					continue
 				}
-				if rs.state.CanServe(uid, link.BS) {
-					rs.inbox[link.BS] = append(rs.inbox[link.BS], Request{
-						Link: link,
-						Fu:   net.CoverCount(uid),
-					})
+				req, bs, ok := rs.prop.Propose(uid, rs.state)
+				if !ok {
+					continue
+				}
+				kept = append(kept, uid)
+				rs.inbox[bs] = append(rs.inbox[bs], req)
+				stats.Proposals++
+				anyRequest = true
+			}
+			rs.pending = kept
+		} else {
+			// Observed path: the full population scan, so the event
+			// stream (including per-round cloud fallbacks of exhausted
+			// UEs) stays byte-identical to the message-passing runtimes.
+			for u := range net.UEs {
+				uid := mec.UEID(u)
+				if rs.state.Assigned(uid) {
+					continue
+				}
+				req, bs, ok := rs.prop.Propose(uid, rs.state)
+				if ok {
+					rs.inbox[bs] = append(rs.inbox[bs], req)
 					stats.Proposals++
 					anyRequest = true
-					proposed = true
-					if d.obs != nil {
-						d.obs.Event(obs.KindPropose, stats.Iterations, u, int(link.BS))
-					}
-					break
+					d.obs.Event(obs.KindPropose, stats.Iterations, u, int(bs))
+				} else {
+					d.obs.Event(obs.KindCloudFallback, stats.Iterations, u, int(mec.CloudBS))
 				}
-				// Resources never grow back: drop the BS permanently
-				// (Alg. 1 line 10).
-				rs.pref.Drop(uid, k)
-			}
-			if !proposed && d.obs != nil {
-				d.obs.Event(obs.KindCloudFallback, stats.Iterations, u, int(mec.CloudBS))
 			}
 		}
 		if !anyRequest {
@@ -282,15 +217,17 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 			if len(reqs) == 0 {
 				continue
 			}
-			selected := d.selectPerServiceInto(rs, net, reqs)
-			if err := d.admit(rs.state, selected, &stats); err != nil {
-				return err
+			rs.led.bs = mec.BSID(b)
+			verdicts, err := d.cfg.SelectRound(&rs.led, reqs, &rs.sel)
+			if err != nil {
+				return fmt.Errorf("alloc: DMRA admit: %w", err)
 			}
+			d.applyVerdicts(mec.BSID(b), verdicts, &stats)
 			rs.inbox[b] = reqs[:0]
 		}
 		if d.obs != nil {
 			d.observeRound(net, rs.state)
-			scanned, rescored := rs.pref.CacheStats()
+			scanned, rescored := rs.prop.CacheStats()
 			d.obs.PrefCacheRound(int64(scanned-rs.lastScanned), int64(rescored-rs.lastRescored))
 			rs.lastScanned, rs.lastRescored = scanned, rescored
 		}
@@ -311,57 +248,43 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 	return nil
 }
 
-// selectPerServiceInto is SelectPerService on the runState's scratch
-// buffers: bucket requests by service, then take each bucket's single
-// most-preferred request. bsPrefers is a strict total order (it ends on
-// the unique UE ID), so the one-pass minimum equals the exported
-// filter-chain implementation exactly.
-func (d *DMRA) selectPerServiceInto(rs *runState, net *mec.Network, reqs []Request) []Request {
-	if cap(rs.byService) < net.Services {
-		rs.byService = make([][]Request, net.Services)
-	}
-	rs.byService = rs.byService[:net.Services]
-	rs.touched = rs.touched[:0]
-	for _, r := range reqs {
-		j := net.UEs[r.Link.UE].Service
-		if len(rs.byService[j]) == 0 {
-			rs.touched = append(rs.touched, j)
-		}
-		rs.byService[j] = append(rs.byService[j], r)
-	}
-	// Services must come out ascending; the touched list is tiny, so an
-	// insertion sort avoids sort.Slice's closure allocation.
-	for i := 1; i < len(rs.touched); i++ {
-		for k := i; k > 0 && rs.touched[k] < rs.touched[k-1]; k-- {
-			rs.touched[k], rs.touched[k-1] = rs.touched[k-1], rs.touched[k]
-		}
-	}
-	rs.selected = rs.selected[:0]
-	for _, j := range rs.touched {
-		group := rs.byService[j]
-		best := group[0]
-		for _, cand := range group[1:] {
-			if d.cfg.bsPrefers(net, cand, best) {
-				best = cand
+// applyVerdicts folds one BS's round verdicts into the run statistics and
+// the observability stream. The synchronous solver does not distinguish
+// permanent from trim rejects in its event stream: every rejected request
+// retries next iteration, where the propose-time feasibility check makes
+// exactly that distinction one round later (mirroring the message-passing
+// runtimes' permanent/trim split).
+func (d *DMRA) applyVerdicts(b mec.BSID, verdicts []engine.Verdict, stats *Stats) {
+	for _, v := range verdicts {
+		if v.Accepted {
+			stats.Accepts++
+			if d.obs != nil {
+				d.obs.Event(obs.KindAccept, stats.Iterations, int(v.Req.UE), int(b))
+			}
+		} else {
+			stats.Rejects++
+			if d.obs != nil {
+				d.obs.Event(obs.KindRejectTrim, stats.Iterations, int(v.Req.UE), int(b))
 			}
 		}
-		rs.selected = append(rs.selected, best)
-		rs.byService[j] = group[:0]
 	}
-	return rs.selected
 }
 
 // allocateNaive is the reference Alg. 1 implementation: a full Eq. 17
 // sweep per proposal over a shrinking candidate set, with fresh buffers
 // every round. The differential fuzz target asserts the cached engine
-// matches it bit for bit.
+// matches it bit for bit. Both paths share the engine's select phase —
+// the cached/naive split is about how proposals are scored, which is the
+// part the preference cache accelerates.
 func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 	state := mec.NewState(net)
 	cands := newCandidateSet(net)
 	var stats Stats
+	var sel engine.SelectScratch
+	led := stateLedger{state: state}
 
 	// inbox[b] collects the service requests BS b received this iteration.
-	inbox := make([][]Request, len(net.BSs))
+	inbox := make([][]engine.Request, len(net.BSs))
 
 	for {
 		stats.Iterations++
@@ -383,9 +306,15 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 					break
 				}
 				if state.CanServe(uid, link.BS) {
-					inbox[link.BS] = append(inbox[link.BS], Request{
-						Link: link,
-						Fu:   net.CoverCount(uid),
+					ue := &net.UEs[uid]
+					inbox[link.BS] = append(inbox[link.BS], engine.Request{
+						UE:          uid,
+						Service:     ue.Service,
+						CRUs:        ue.CRUDemand,
+						RRBs:        link.RRBs,
+						SameSP:      link.SameSP,
+						Fu:          net.CoverCount(uid),
+						PricePerCRU: link.PricePerCRU,
 					})
 					stats.Proposals++
 					anyRequest = true
@@ -412,10 +341,12 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 				continue
 			}
 			inbox[b] = nil
-			selected := d.cfg.SelectPerService(net, reqs)
-			if err := d.admit(state, selected, &stats); err != nil {
-				return err
+			led.bs = mec.BSID(b)
+			verdicts, err := d.cfg.SelectRound(&led, reqs, &sel)
+			if err != nil {
+				return fmt.Errorf("alloc: DMRA admit: %w", err)
 			}
+			d.applyVerdicts(mec.BSID(b), verdicts, &stats)
 		}
 		if d.obs != nil {
 			d.observeRound(net, state)
@@ -450,57 +381,6 @@ func (d *DMRA) bestCandidate(s *mec.State, cands *candidateSet, u mec.UEID) (int
 	return bestPos, bestLink, true
 }
 
-// admit applies the radio-budget check of Alg. 1 lines 22-25: if all
-// selected UEs fit the BS's remaining RRBs, admit them all; otherwise admit
-// strictly in the BS's preference order until the budget is exhausted —
-// the first over-budget request and everything less preferred behind it
-// are trimmed together, exactly as the paper's loop terminates. (A
-// first-fit variant that kept admitting smaller requests past the first
-// reject would let a less-preferred UE leapfrog a more-preferred one.)
-// Trimmed UEs stay unassigned and retry next iteration, where the
-// propose-time feasibility check decides whether this BS remains a
-// candidate.
-func (d *DMRA) admit(state *mec.State, selected []Request, stats *Stats) error {
-	if len(selected) == 0 {
-		return nil
-	}
-	net := state.Network()
-	total := 0
-	for _, r := range selected {
-		total += r.Link.RRBs
-	}
-	if total > state.RemainingRRBs(selected[0].Link.BS) {
-		d.cfg.SortByBSPreference(net, selected)
-	}
-	for i, r := range selected {
-		// Check the shortfall explicitly instead of letting Assign build
-		// an error value: the trim is the expected path, and it must not
-		// allocate. Any Assign failure past this check is a real bug.
-		ue := &net.UEs[r.Link.UE]
-		remCRU, remRRBs := state.Residual(r.Link.BS, ue.Service)
-		if remCRU < ue.CRUDemand || remRRBs < r.Link.RRBs {
-			stats.Rejects += len(selected) - i
-			if d.obs != nil {
-				// The whole trimmed tail retries next iteration; the
-				// propose-time feasibility check there decides whether the
-				// reject turns permanent (mirrors the runtimes' split).
-				for _, t := range selected[i:] {
-					d.obs.Event(obs.KindRejectTrim, stats.Iterations, int(t.Link.UE), int(t.Link.BS))
-				}
-			}
-			return nil
-		}
-		if err := state.Assign(r.Link.UE, r.Link.BS); err != nil {
-			return fmt.Errorf("alloc: DMRA admit: %w", err)
-		}
-		stats.Accepts++
-		if d.obs != nil {
-			d.obs.Event(obs.KindAccept, stats.Iterations, int(r.Link.UE), int(r.Link.BS))
-		}
-	}
-	return nil
-}
-
 // observeRound publishes the per-round gauges: residual capacity per BS
 // (CRUs summed over services, RRBs) and the unmatched-UE count. Called
 // once per select phase, only when an observer is attached.
@@ -519,32 +399,4 @@ func (d *DMRA) observeRound(net *mec.Network, state *mec.State) {
 		}
 	}
 	d.obs.Unmatched(unmatched)
-}
-
-// filterRequests returns the requests satisfying keep.
-func filterRequests(reqs []Request, keep func(Request) bool) []Request {
-	var out []Request
-	for _, r := range reqs {
-		if keep(r) {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-// argminRequests returns the subset of requests minimizing key.
-func argminRequests(reqs []Request, key func(Request) int) []Request {
-	best := math.MaxInt
-	for _, r := range reqs {
-		if k := key(r); k < best {
-			best = k
-		}
-	}
-	var out []Request
-	for _, r := range reqs {
-		if key(r) == best {
-			out = append(out, r)
-		}
-	}
-	return out
 }

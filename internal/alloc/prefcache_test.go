@@ -4,122 +4,11 @@ import (
 	"testing"
 
 	"dmra/internal/mec"
-	"dmra/internal/rng"
 )
 
-// naiveBest is the reference sweep PrefScorer must reproduce: first
-// strictly-smaller preference over the non-dropped candidates in index
-// order.
-func naiveBest(cfg DMRAConfig, net *mec.Network, u mec.UEID, rv ResidualView, dropped []bool) (int, bool) {
-	best := -1
-	bestV := 0.0
-	for k, l := range net.Candidates(u) {
-		if dropped[k] {
-			continue
-		}
-		remC, remR := rv.Residual(l.BS, net.UEs[u].Service)
-		if v := cfg.Preference(l, remC, remR); best < 0 || v < bestV {
-			best, bestV = k, v
-		}
-	}
-	return best, best >= 0
-}
-
-// TestPrefScorerMatchesNaiveSweep drives a scorer through a random
-// interleaving of ledger mutations, drops, and queries, checking every
-// Best answer (value and tie-break) against the full sweep.
-func TestPrefScorerMatchesNaiveSweep(t *testing.T) {
-	for _, rho := range []float64{250, 0, -40} {
-		cfg := DefaultDMRAConfig()
-		cfg.Rho = rho
-		for seed := uint64(0); seed < 6; seed++ {
-			wl := fuzzScenario(seed)
-			wl.UEs = 60
-			net, err := wl.Build(seed)
-			if err != nil {
-				t.Fatalf("rho %g seed %d: build: %v", rho, seed, err)
-			}
-			state := mec.NewState(net)
-			p := NewPrefScorer(net, cfg)
-			dropped := make([][]bool, len(net.UEs))
-			for u := range dropped {
-				dropped[u] = make([]bool, len(net.Candidates(mec.UEID(u))))
-			}
-			src := rng.New(seed).SplitLabeled("prefcache-test")
-			// The mutation mix matches what a DMRA run can do: assigns
-			// (debits) and drops, never credits — the lazy heap's
-			// exactness contract requires monotone non-increasing
-			// residuals, which is what the matching guarantees.
-			for step := 0; step < 400; step++ {
-				u := mec.UEID(src.Intn(len(net.UEs)))
-				switch src.Intn(3) {
-				case 0: // drop a random candidate
-					if n := len(dropped[u]); n > 0 {
-						k := src.Intn(n)
-						dropped[u][k] = true
-						p.Drop(u, k)
-					}
-				case 1: // mutate the ledger via a legal assign
-					if cands := net.Candidates(u); len(cands) > 0 && !state.Assigned(u) {
-						l := cands[src.Intn(len(cands))]
-						if state.CanServe(u, l.BS) {
-							if err := state.Assign(u, l.BS); err != nil {
-								t.Fatalf("assign: %v", err)
-							}
-						}
-					}
-				default: // query
-					wantK, wantOK := naiveBest(cfg, net, u, state, dropped[u])
-					gotK, gotLink, gotOK := p.Best(u, state)
-					if gotOK != wantOK {
-						t.Fatalf("rho %g seed %d step %d UE %d: ok=%v, naive ok=%v", rho, seed, step, u, gotOK, wantOK)
-					}
-					if !wantOK {
-						continue
-					}
-					if gotK != wantK {
-						t.Fatalf("rho %g seed %d step %d UE %d: Best k=%d, naive k=%d", rho, seed, step, u, gotK, wantK)
-					}
-					if gotLink != net.Candidates(u)[wantK] {
-						t.Fatalf("rho %g seed %d step %d UE %d: link mismatch", rho, seed, step, u)
-					}
-				}
-			}
-			scanned, rescored := p.CacheStats()
-			if rescored > scanned {
-				t.Fatalf("rho %g seed %d: rescored %d > scanned %d", rho, seed, rescored, scanned)
-			}
-		}
-	}
-}
-
-// TestPrefScorerEmptyAndDropBS covers the bookkeeping edges: DropBS on a
-// non-candidate BS is a no-op, repeated drops do not double-count, and
-// Empty flips exactly when the last candidate goes.
-func TestPrefScorerEmptyAndDropBS(t *testing.T) {
-	wl := fuzzScenario(3)
-	wl.UEs = 20
-	net, err := wl.Build(3)
-	if err != nil {
-		t.Fatalf("build: %v", err)
-	}
-	p := NewPrefScorer(net, DefaultDMRAConfig())
-	for u := range net.UEs {
-		uid := mec.UEID(u)
-		cands := net.Candidates(uid)
-		if p.Empty(uid) != (len(cands) == 0) {
-			t.Fatalf("UE %d: Empty=%v with %d candidates", u, p.Empty(uid), len(cands))
-		}
-		p.DropBS(uid, mec.BSID(len(net.BSs)+5)) // never a candidate
-		for _, l := range cands {
-			p.DropBS(uid, l.BS)
-			p.DropBS(uid, l.BS) // idempotent
-		}
-		if len(cands) > 0 && !p.Empty(uid) {
-			t.Fatalf("UE %d: not empty after dropping all candidates", u)
-		}
-	}
-}
+// The PrefScorer differential tests moved with the scorer to
+// internal/engine; this file keeps the candidate-set regression coverage
+// of the naive reference path.
 
 // TestCandidateSetDropIdxNoAliasing is the regression test for the splice
 // bug: dropIdx used to append in place, shifting elements inside the

@@ -1,4 +1,4 @@
-package alloc
+package engine
 
 import (
 	"math"
@@ -67,7 +67,7 @@ func siftDown(h []prefEntry, i int) {
 // A PrefScorer belongs to one run at a time; it is not safe for
 // concurrent use.
 type PrefScorer struct {
-	cfg DMRAConfig
+	cfg Config
 	net *mec.Network
 	// heaps[u] is UE u's candidate min-heap ordered by prefLess.
 	heaps [][]prefEntry
@@ -84,7 +84,7 @@ type PrefScorer struct {
 }
 
 // NewPrefScorer returns a scorer over net's candidate lists.
-func NewPrefScorer(net *mec.Network, cfg DMRAConfig) *PrefScorer {
+func NewPrefScorer(net *mec.Network, cfg Config) *PrefScorer {
 	p := &PrefScorer{}
 	p.Reset(net, cfg)
 	return p
@@ -92,7 +92,7 @@ func NewPrefScorer(net *mec.Network, cfg DMRAConfig) *PrefScorer {
 
 // Reset rewinds the scorer for a fresh run over net, reusing backing
 // storage when shapes allow so pooled allocators stay allocation-free.
-func (p *PrefScorer) Reset(net *mec.Network, cfg DMRAConfig) {
+func (p *PrefScorer) Reset(net *mec.Network, cfg Config) {
 	p.cfg = cfg
 	p.net = net
 	p.linearOnly = cfg.Rho < 0

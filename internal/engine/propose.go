@@ -1,0 +1,66 @@
+package engine
+
+import "dmra/internal/mec"
+
+// Proposer is the UE side of the round state machine (Alg. 1 lines 3-10):
+// pick the minimum-preference candidate the UE's resource view still
+// believes can serve it, dropping view-infeasible BSs permanently along
+// the way (resources never grow back during a run). One Proposer serves
+// every UE of a run; the per-UE candidate state lives in its PrefScorer.
+type Proposer struct {
+	net  *mec.Network
+	pref PrefScorer
+}
+
+// NewProposer returns a proposer over net's candidate lists.
+func NewProposer(net *mec.Network, cfg Config) *Proposer {
+	p := &Proposer{}
+	p.Reset(net, cfg)
+	return p
+}
+
+// Reset rewinds the proposer for a fresh run over net, reusing backing
+// storage when shapes allow.
+func (p *Proposer) Reset(net *mec.Network, cfg Config) {
+	p.net = net
+	p.pref.Reset(net, cfg)
+}
+
+// Propose returns UE u's request for this round and its target BS, or
+// ok = false when the UE has no viable candidate left (cloud fallback).
+// Candidates whose residuals — as rv reports them — can no longer fit the
+// UE are dropped permanently before the winner is chosen.
+func (p *Proposer) Propose(u mec.UEID, rv ResidualView) (req Request, bs mec.BSID, ok bool) {
+	ue := &p.net.UEs[u]
+	for !p.pref.Empty(u) {
+		k, link, best := p.pref.Best(u, rv)
+		if !best {
+			break
+		}
+		remCRU, remRRBs := rv.Residual(link.BS, ue.Service)
+		if remCRU >= ue.CRUDemand && remRRBs >= link.RRBs {
+			return Request{
+				UE:          u,
+				Service:     ue.Service,
+				CRUs:        ue.CRUDemand,
+				RRBs:        link.RRBs,
+				SameSP:      link.SameSP,
+				Fu:          p.net.CoverCount(u),
+				PricePerCRU: link.PricePerCRU,
+			}, link.BS, true
+		}
+		p.pref.Drop(u, k)
+	}
+	return Request{}, mec.CloudBS, false
+}
+
+// Empty reports whether UE u has no viable candidates left; such a UE can
+// never propose again this run.
+func (p *Proposer) Empty(u mec.UEID) bool { return p.pref.Empty(u) }
+
+// DropBS removes UE u's candidate on BS b, if present — the receiver-side
+// effect of a permanent reject.
+func (p *Proposer) DropBS(u mec.UEID, b mec.BSID) { p.pref.DropBS(u, b) }
+
+// CacheStats exposes the underlying preference cache's counters.
+func (p *Proposer) CacheStats() (scanned, rescored uint64) { return p.pref.CacheStats() }

@@ -56,6 +56,7 @@ type Network struct {
 // (bad references, capacity/pricing violations of Eq. 16, invalid radio
 // parameters).
 func NewNetwork(sps []SP, bss []BS, ues []UE, services int, rc radio.Config, pr Pricing) (*Network, error) {
+	networkBuilds.Add(1)
 	n := &Network{
 		SPs:      sps,
 		BSs:      bss,

@@ -238,7 +238,10 @@ func (s *State) SnapshotInto(dst Assignment) Assignment {
 func (s *State) CheckInvariants() error {
 	// Flat per-(BS, service) scratch, kept on the State so per-round
 	// verification in the hot loop does not allocate.
-	if len(s.invariantCRU) != len(s.net.BSs)*s.net.Services {
+	// Both lengths must be checked: two scenarios can share the
+	// BSs*Services product while disagreeing on the BS count (1x2 vs
+	// 2x1), and a pooled State crosses scenarios.
+	if len(s.invariantCRU) != len(s.net.BSs)*s.net.Services || len(s.invariantRRB) != len(s.net.BSs) {
 		s.invariantCRU = make([]int, len(s.net.BSs)*s.net.Services)
 		s.invariantRRB = make([]int, len(s.net.BSs))
 	}

@@ -327,6 +327,14 @@ func TestServerEndpoints(t *testing.T) {
 
 	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "dmra_rounds_total 7") {
 		t.Errorf("/metrics: code %d body %q", code, body)
+	} else {
+		// The scrape must also carry the process gauges, each with its
+		// TYPE line and a parseable sample.
+		for _, g := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_pause_seconds_total"} {
+			if !strings.Contains(body, "# TYPE "+g+" ") || !strings.Contains(body, "\n"+g+" ") {
+				t.Errorf("/metrics missing process gauge %s:\n%s", g, body)
+			}
+		}
 	}
 	if code, body := get("/debug/vars"); code != http.StatusOK || !strings.Contains(body, `"dmra_rounds_total": 7`) {
 		t.Errorf("/debug/vars: code %d body %q", code, body)

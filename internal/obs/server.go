@@ -2,9 +2,11 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"time"
 )
 
@@ -28,6 +30,7 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
+		WriteProcessGauges(w)
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -42,6 +45,25 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil
+}
+
+// WriteProcessGauges appends the Go-runtime process gauges a scraper
+// expects next to the experiment metrics: live goroutine count, heap
+// bytes in use, and the cumulative GC stop-the-world pause time. Names
+// follow the Prometheus Go-client conventions so standard dashboards
+// pick them up unchanged.
+func WriteProcessGauges(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "# HELP go_goroutines Number of goroutines that currently exist.\n")
+	fmt.Fprintf(w, "# TYPE go_goroutines gauge\n")
+	fmt.Fprintf(w, "go_goroutines %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "# HELP go_memstats_heap_alloc_bytes Number of heap bytes allocated and still in use.\n")
+	fmt.Fprintf(w, "# TYPE go_memstats_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "go_memstats_heap_alloc_bytes %d\n", ms.HeapAlloc)
+	fmt.Fprintf(w, "# HELP go_gc_pause_seconds_total Cumulative GC stop-the-world pause time.\n")
+	fmt.Fprintf(w, "# TYPE go_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "go_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 }
 
 // Addr returns the server's bound address (useful with port 0).

@@ -1,13 +1,31 @@
 package online
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
 
-func BenchmarkSession(b *testing.B) {
+// benchSessionConfig is the pinned BenchmarkSession scenario: a moderately
+// loaded two-minute session over a 600-profile population. The same
+// configuration feeds the BENCH_BASELINE record, so cross-PR comparisons
+// via scripts/benchdiff.sh time identical work.
+func benchSessionConfig() Config {
 	cfg := DefaultConfig()
 	cfg.Scenario.UEs = 600
 	cfg.ArrivalRate = 3
 	cfg.MeanHoldS = 60
 	cfg.DurationS = 120
+	return cfg
+}
+
+// BenchmarkSession times one full dynamic session: scenario build, Poisson
+// arrivals, per-epoch re-matching, departures. The per-epoch matching cost
+// dominates, which is what the session-persistent SubView path optimizes.
+func BenchmarkSession(b *testing.B) {
+	cfg := benchSessionConfig()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
@@ -15,4 +33,44 @@ func BenchmarkSession(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestWriteSessionBenchBaseline appends one JSON line to the file named by
+// BENCH_BASELINE (skipped when unset): the BenchmarkSession ns/op and
+// allocs/op. Run via `make bench`; scripts/benchdiff.sh compares the last
+// two records and fails on regression.
+func TestWriteSessionBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	cfg := benchSessionConfig()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg.Seed = uint64(i + 1)
+			if _, err := Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	baseline := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339),
+		"benchmark":  "BenchmarkSession",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"ns_op":      r.NsPerOp(),
+		"allocs_op":  r.AllocsPerOp(),
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended BenchmarkSession baseline to %s", path)
 }

@@ -169,6 +169,7 @@ func Run(cfg Config) (Report, error) {
 		cfg:       cfg,
 		net:       net,
 		state:     mec.NewState(net),
+		subview:   net.NewSubView(),
 		allocator: allocator,
 		src:       rng.New(cfg.Seed).SplitLabeled("online"),
 		active:    make(map[mec.UEID]placement, len(net.UEs)),
@@ -187,12 +188,20 @@ type placement struct {
 }
 
 type session struct {
-	cfg       Config
-	net       *mec.Network
-	state     *mec.State
+	cfg   Config
+	net   *mec.Network
+	state *mec.State
+	// subview is the session-persistent restriction of net handed to the
+	// allocator each epoch: one Refresh per epoch, zero NewNetwork calls
+	// after setup (a property the tests assert via mec.NetworkBuilds).
+	subview   *mec.SubView
 	allocator alloc.Allocator
-	src       *rng.Source
-	engine    sim.Engine
+	// epochRes recycles the allocator result across epochs so a DMRA
+	// session reuses one assignment buffer (and, through the allocator's
+	// pooled scratch, one preference cache) for the whole run.
+	epochRes alloc.Result
+	src      *rng.Source
+	engine   sim.Engine
 
 	inactive []mec.UEID
 	// waiting holds arrivals not yet matched (between epochs).
@@ -315,22 +324,12 @@ func (s *session) epoch() {
 // match runs the allocator restricted to the waiting UEs against the
 // current residual capacities, then commits its grants.
 func (s *session) match() {
-	// Build a sub-network view: the allocator API works on full networks,
-	// so run it over the real network but only commit decisions for
-	// waiting UEs, using a scratch state seeded with current residuals.
-	// Because allocators route all grants through CanServe/Assign on
-	// their scratch ledger, restricting commits to waiting UEs keeps the
-	// real ledger consistent.
-	waitingSet := make(map[mec.UEID]bool, len(s.waiting))
-	for _, u := range s.waiting {
-		waitingSet[u] = true
-	}
 	s.rep.ReassignChecks += len(s.waiting)
 
-	assignment := s.matchWaiting(waitingSet)
+	assignment := s.matchWaiting()
 	var stillWaiting []mec.UEID
 	for _, u := range s.waiting {
-		b := assignment[u]
+		b := assignment.ServingBS[u]
 		hold := s.nextHold()
 		if b == mec.CloudBS {
 			// Cloud fallback: the task runs remotely (zero MEC profit) and
@@ -353,79 +352,32 @@ func (s *session) match() {
 	s.waiting = stillWaiting
 }
 
+// intoAllocator is the optional zero-allocation allocator fast path
+// (alloc.DMRA implements it); other policies fall back to Allocate.
+type intoAllocator interface {
+	AllocateInto(*mec.Network, *alloc.Result) error
+}
+
 // matchWaiting computes the policy's choice for each waiting UE given the
-// residual resources. Allocators build their own ledgers over whatever
-// network they are handed, so the session hands them a *reduced* network:
-// the waiting UEs against BSs whose capacities equal the live residuals.
-// BS identifiers are preserved, so the reduced assignment maps directly
-// onto the real ledger.
-func (s *session) matchWaiting(waiting map[mec.UEID]bool) map[mec.UEID]mec.BSID {
-	reduced, idMap, err := s.reducedNetwork(waiting)
-	if err != nil {
-		panic(fmt.Sprintf("online: reduced network: %v", err))
+// residual resources. The session-persistent SubView points the parent
+// network's precomputed links at the waiting set and snapshots the live
+// residuals as BS capacities — no network rebuild, no UE renumbering:
+// the returned assignment is indexed by real UE ID, with every
+// non-waiting UE on the cloud. A fully drained BS stays present with
+// zero residual capacity and rejects proposals normally, preserving
+// every waiting UE's true coverage count f_u.
+func (s *session) matchWaiting() mec.Assignment {
+	sub := s.subview.Refresh(s.waiting, s.state)
+	var err error
+	if ia, ok := s.allocator.(intoAllocator); ok {
+		err = ia.AllocateInto(sub, &s.epochRes)
+	} else {
+		s.epochRes, err = s.allocator.Allocate(sub)
 	}
-	out := make(map[mec.UEID]mec.BSID, len(waiting))
-	for u := range waiting {
-		out[u] = mec.CloudBS
-	}
-	if len(idMap) == 0 {
-		return out
-	}
-	res, err := s.allocator.Allocate(reduced)
 	if err != nil {
 		panic(fmt.Sprintf("online: epoch allocation: %v", err))
 	}
-	for ru, b := range res.Assignment.ServingBS {
-		out[idMap[ru]] = b
-	}
-	return out
-}
-
-// reducedNetwork builds a network whose UEs are the waiting set and whose
-// BS capacities are the current residuals of the live ledger.
-func (s *session) reducedNetwork(waiting map[mec.UEID]bool) (*mec.Network, []mec.UEID, error) {
-	bss := make([]mec.BS, len(s.net.BSs))
-	for b := range s.net.BSs {
-		orig := s.net.BSs[b]
-		caps := make([]int, len(orig.CRUCapacity))
-		for j := range caps {
-			caps[j] = s.state.RemainingCRU(mec.BSID(b), mec.ServiceID(j))
-		}
-		rem := s.state.RemainingRRBs(mec.BSID(b))
-		if rem <= 0 {
-			// mec.NewNetwork requires a positive RRB budget; a fully
-			// drained BS keeps one unusable RRB by zeroing its services.
-			rem = 1
-			for j := range caps {
-				caps[j] = 0
-			}
-		}
-		bss[b] = mec.BS{
-			ID:          mec.BSID(b),
-			SP:          orig.SP,
-			Pos:         orig.Pos,
-			CRUCapacity: caps,
-			MaxRRBs:     rem,
-		}
-	}
-	var (
-		ues   []mec.UE
-		idMap []mec.UEID
-	)
-	for u := range s.net.UEs {
-		if !waiting[mec.UEID(u)] {
-			continue
-		}
-		ue := s.net.UEs[u]
-		ue.ID = mec.UEID(len(ues))
-		ues = append(ues, ue)
-		idMap = append(idMap, mec.UEID(u))
-	}
-	net, err := mec.NewNetwork(s.net.SPs, bss, ues, s.net.Services, s.net.Radio, s.net.Pricing)
-	if err != nil {
-		return nil, nil, err
-	}
-	return net, idMap, nil
+	return s.epochRes.Assignment
 }
 
 // marginOf returns the per-second profit of serving UE u on BS b.

@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"dmra/internal/alloc"
+	"dmra/internal/geo"
+	"dmra/internal/mec"
+	"dmra/internal/radio"
 )
 
 func fastConfig() Config {
@@ -244,5 +247,88 @@ func TestRecordSeries(t *testing.T) {
 	}
 	if plain.Series != nil {
 		t.Error("series recorded without RecordSeries")
+	}
+}
+
+// TestSubViewZeroResidualBSStaysPresent is the regression test for the
+// congestion edge case the SubView fixed: a BS whose residual RRBs hit
+// zero used to be rebuilt into the per-epoch reduced network with a fake
+// 1-RRB budget and zeroed services, which silently dropped its links and
+// shrank every covered UE's f_u. The sub-view must keep the drained BS
+// present with its true zero residual — still a candidate, rejecting
+// normally — and preserve coverage counts from the parent network.
+func TestSubViewZeroResidualBSStaysPresent(t *testing.T) {
+	rc := radio.DefaultConfig()
+	rc.InterferenceMarginDB = 20
+	pr := mec.Pricing{BasePrice: 1, CrossSPFactor: 2, DistanceSigma: 0.004, Law: mec.DistanceLinear}
+	sps := []mec.SP{{ID: 0, Name: "sp", CRUPrice: 6, OtherCostPerCRU: 1}}
+	build := func(bs0RRBs, bs0CRUs int) *mec.Network {
+		bss := []mec.BS{
+			{ID: 0, SP: 0, Pos: geo.Point{}, CRUCapacity: []int{bs0CRUs}, MaxRRBs: bs0RRBs},
+			{ID: 1, SP: 0, Pos: geo.Point{X: 60}, CRUCapacity: []int{20}, MaxRRBs: 100},
+		}
+		ues := []mec.UE{
+			{ID: 0, SP: 0, Pos: geo.Point{X: 10}, Service: 0, CRUDemand: 3, RateBps: 2e6},
+			{ID: 1, SP: 0, Pos: geo.Point{X: 30}, Service: 0, CRUDemand: 3, RateBps: 2e6},
+		}
+		net, err := mec.NewNetwork(sps, bss, ues, 1, rc, pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+
+	// First build discovers the link cost; the second sizes BS 0 so that
+	// admitting UE 0 drains it to exactly zero residual RRBs.
+	probe := build(100, 20)
+	l, ok := probe.Link(0, 0)
+	if !ok {
+		t.Fatal("UE 0 does not cover BS 0")
+	}
+	net := build(l.RRBs, probe.UEs[0].CRUDemand)
+	state := mec.NewState(net)
+	if err := state.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if rem := state.RemainingRRBs(0); rem != 0 {
+		t.Fatalf("BS 0 residual RRBs = %d, want 0", rem)
+	}
+
+	sub := net.NewSubView().Refresh([]mec.UEID{1}, state)
+	if got := sub.BSs[0].MaxRRBs; got != 0 {
+		t.Errorf("drained BS 0 in sub-view has MaxRRBs = %d, want 0", got)
+	}
+	if got, want := sub.CoverCount(1), net.CoverCount(1); got != want {
+		t.Errorf("sub-view f_u = %d, want parent's %d", got, want)
+	}
+	if got, want := len(sub.Candidates(1)), len(net.Candidates(1)); got != want {
+		t.Errorf("sub-view candidate count = %d, want %d (drained BS must stay a candidate)", got, want)
+	}
+	if cands := sub.Candidates(0); cands != nil {
+		t.Errorf("inactive UE 0 has %d candidates, want none", len(cands))
+	}
+
+	res, err := alloc.NewDMRA(alloc.DefaultDMRAConfig()).Allocate(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Assignment.ServingBS[1]; got != 1 {
+		t.Errorf("UE 1 served by BS %d, want the non-drained BS 1", got)
+	}
+	if got := res.Assignment.ServingBS[0]; got != mec.CloudBS {
+		t.Errorf("inactive UE 0 served by BS %d, want cloud", got)
+	}
+}
+
+// TestRunBuildsNoNetworksAfterSetup pins the sub-view refactor's headline
+// property: a whole dynamic session performs exactly one network build
+// (the scenario itself); every epoch reuses the session's SubView.
+func TestRunBuildsNoNetworksAfterSetup(t *testing.T) {
+	before := mec.NetworkBuilds()
+	if _, err := Run(fastConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if got := mec.NetworkBuilds() - before; got != 1 {
+		t.Fatalf("session performed %d network builds, want exactly 1 (scenario setup)", got)
 	}
 }

@@ -7,11 +7,13 @@
 // ledger and every UE its own local view of remaining resources, learned
 // exclusively from the ResourceBroadcast messages the paper's Alg. 1
 // line 26 prescribes. UEs decide from (possibly one-round-stale) local
-// state, exactly as real handsets would. Because both implementations
-// route every decision through the shared alloc.DMRAConfig preference and
-// selection functions, the final matching is bit-identical to the
-// synchronous solver's — an equivalence the tests assert — while this
-// runtime additionally reports message and round costs.
+// state, exactly as real handsets would. This runtime is a thin driver
+// over internal/engine — proposal scoring, per-service selection, the
+// prefix trim, and the view/version bookkeeping are the engine's; this
+// package only moves the messages — so the final matching is
+// bit-identical to the synchronous solver's, an equivalence the tests
+// assert, while this runtime additionally reports message and round
+// costs.
 package protocol
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 
 	"dmra/internal/alloc"
+	"dmra/internal/engine"
 	"dmra/internal/mec"
 	"dmra/internal/obs"
 	"dmra/internal/rng"
@@ -105,48 +108,26 @@ type Result struct {
 // with pending requests).
 var ErrDidNotQuiesce = errors.New("protocol: exceeded round bound without quiescing")
 
-// bsView is a UE's broadcast-derived knowledge of one candidate BS.
-type bsView struct {
-	remCRU []int
-	remRRB int
-}
-
 // ueAgent is a user-equipment actor.
 type ueAgent struct {
 	id mec.UEID
-	// views[b] mirrors candidate BS b's resources as last broadcast.
-	views map[mec.BSID]*bsView
-	// vers aliases the runner's per-BS broadcast counters, making the
-	// agent an alloc.ResidualView: the preference cache re-scores a BS
-	// only after a new broadcast has been applied. A UE whose reception
-	// was lost re-scores against its unchanged view — a wasted but
-	// correct evaluation, never a stale result.
-	vers []uint64
+	// view is the agent's slice of the runner's ViewTable; its address is
+	// the engine.ResidualView the preference cache scores against.
+	view engine.UEView
 	// servedBy is CloudBS until an Accept arrives.
 	servedBy mec.BSID
 	assigned bool
 }
 
-// Residual implements alloc.ResidualView over the agent's local views.
-func (a *ueAgent) Residual(b mec.BSID, j mec.ServiceID) (remCRU, remRRBs int) {
-	v := a.views[b]
-	return v.remCRU[j], v.remRRB
-}
-
-// ResidualVersion implements alloc.ResidualView.
-func (a *ueAgent) ResidualVersion(b mec.BSID) uint64 { return a.vers[b] }
-
 // bsAgent is a base-station actor with a private resource ledger.
 type bsAgent struct {
-	id     mec.BSID
-	remCRU []int
-	remRRB int
-	inbox  []alloc.Request
+	id    mec.BSID
+	led   *engine.BSLedger
+	inbox []engine.Request
+	sel   engine.SelectScratch
 	// admitted records reservations so accepts can be re-sent
 	// idempotently when the original accept was lost.
-	admitted map[mec.UEID]mec.Link
-	// coveredUEs are the UEs that can hear this BS's broadcasts.
-	coveredUEs []mec.UEID
+	admitted map[mec.UEID]bool
 }
 
 // Run executes the decentralized protocol to quiescence.
@@ -181,13 +162,13 @@ type runner struct {
 	loss   *rng.Source
 	res    Result
 
-	// pref caches Eq. 17 scores per UE against the UEs' local views; it
-	// is the same incremental scorer the synchronous solver uses, so the
-	// runtimes share one preference implementation.
-	pref *alloc.PrefScorer
-	// vers[b] counts applied broadcasts of BS b; ueAgent exposes it as
-	// the ResidualVersion the scorer keys its cache on.
-	vers []uint64
+	// prop is the engine's UE-side round machine: Eq. 17 scoring through
+	// the same incremental preference cache the synchronous solver uses,
+	// keyed on the views' broadcast version counters.
+	prop *engine.Proposer
+	// views holds the UE-local resource views and per-BS broadcast
+	// counters; broadcasts are applied through it.
+	views *engine.ViewTable
 	// lastScanned/lastRescored are cache-counter checkpoints for the
 	// per-round observability delta.
 	lastScanned, lastRescored uint64
@@ -196,6 +177,10 @@ type runner struct {
 	// deployment this would be a timeout at the SP layer; in simulation the
 	// controller counts the round's requests directly.
 	requestsThisRound int
+
+	// fatal records an engine-level failure surfaced inside an event
+	// callback; run() converts it into the returned error.
+	fatal error
 }
 
 // lost samples the loss process for one message or broadcast reception.
@@ -211,43 +196,24 @@ func (r *runner) lost() bool {
 }
 
 func (r *runner) setup() {
-	r.pref = alloc.NewPrefScorer(r.net, r.cfg.DMRA)
-	r.vers = make([]uint64, len(r.net.BSs))
+	r.prop = engine.NewProposer(r.net, r.cfg.DMRA)
+	r.views = engine.NewViewTable(r.net)
 	r.ues = make([]*ueAgent, len(r.net.UEs))
 	for u := range r.net.UEs {
 		uid := mec.UEID(u)
-		cands := r.net.Candidates(uid)
-		agent := &ueAgent{
+		r.ues[u] = &ueAgent{
 			id:       uid,
-			views:    make(map[mec.BSID]*bsView, len(cands)),
-			vers:     r.vers,
+			view:     r.views.UE(uid),
 			servedBy: mec.CloudBS,
 		}
-		for _, l := range cands {
-			// Initial views come from the deployment-time capacity
-			// announcement (Alg. 1 assumes B_u and capacities known).
-			bs := &r.net.BSs[l.BS]
-			v := &bsView{remCRU: make([]int, len(bs.CRUCapacity)), remRRB: bs.MaxRRBs}
-			copy(v.remCRU, bs.CRUCapacity)
-			agent.views[l.BS] = v
-		}
-		r.ues[u] = agent
 	}
 	r.bss = make([]*bsAgent, len(r.net.BSs))
 	for b := range r.net.BSs {
 		bs := &r.net.BSs[b]
-		agent := &bsAgent{
+		r.bss[b] = &bsAgent{
 			id:       mec.BSID(b),
-			remCRU:   make([]int, len(bs.CRUCapacity)),
-			remRRB:   bs.MaxRRBs,
-			admitted: make(map[mec.UEID]mec.Link),
-		}
-		copy(agent.remCRU, bs.CRUCapacity)
-		r.bss[b] = agent
-	}
-	for u := range r.net.UEs {
-		for _, l := range r.net.Candidates(mec.UEID(u)) {
-			r.bss[l.BS].coveredUEs = append(r.bss[l.BS].coveredUEs, mec.UEID(u))
+			led:      engine.NewBSLedger(bs.CRUCapacity, bs.MaxRRBs),
+			admitted: make(map[mec.UEID]bool),
 		}
 	}
 }
@@ -258,6 +224,9 @@ func (r *runner) run() (Result, error) {
 	r.engine.Run()
 	if protocolErr != nil {
 		return Result{}, protocolErr
+	}
+	if r.fatal != nil {
+		return Result{}, fmt.Errorf("protocol: %w", r.fatal)
 	}
 
 	r.res.Assignment = mec.NewAssignment(len(r.net.UEs))
@@ -310,19 +279,19 @@ func (r *runner) startRound(round int, protocolErr *error) {
 		if agent.assigned {
 			continue
 		}
-		req, ok := r.propose(agent)
+		req, bsID, ok := r.propose(agent)
 		if !ok {
 			continue
 		}
 		r.requestsThisRound++
 		r.res.Requests++
 		r.res.Messages++
-		r.trace("request", round, req.Link.UE, req.Link.BS)
-		r.observe(obs.KindPropose, round, req.Link.UE, req.Link.BS)
+		r.trace("request", round, req.UE, bsID)
+		r.observe(obs.KindPropose, round, req.UE, bsID)
 		if r.lost() {
 			continue // the UE retries next round
 		}
-		target := r.bss[req.Link.BS]
+		target := r.bss[bsID]
 		r.engine.Schedule(L, func() { target.inbox = append(target.inbox, req) })
 	}
 
@@ -337,30 +306,21 @@ func (r *runner) startRound(round int, protocolErr *error) {
 	})
 }
 
-// propose picks the UE's best candidate from its local view, dropping
-// candidates its view says are exhausted (Alg. 1 lines 4-10).
-func (r *runner) propose(agent *ueAgent) (alloc.Request, bool) {
-	ue := &r.net.UEs[agent.id]
-	for !r.pref.Empty(agent.id) {
-		k, link, ok := r.pref.Best(agent.id, agent)
-		if !ok {
-			break
-		}
-		view := agent.views[link.BS]
-		if view.remCRU[ue.Service] >= ue.CRUDemand && view.remRRB >= link.RRBs {
-			return alloc.Request{Link: link, Fu: r.net.CoverCount(agent.id)}, true
-		}
-		// The view says this BS can no longer take us; resources never
-		// grow back, so drop it permanently.
-		r.pref.Drop(agent.id, k)
+// propose picks the UE's best candidate from its local view through the
+// engine's proposer, dropping candidates the view says are exhausted
+// (Alg. 1 lines 4-10).
+func (r *runner) propose(agent *ueAgent) (engine.Request, mec.BSID, bool) {
+	req, bsID, ok := r.prop.Propose(agent.id, &agent.view)
+	if !ok {
+		r.trace("cloud", r.res.Rounds, agent.id, mec.CloudBS)
+		r.observe(obs.KindCloudFallback, r.res.Rounds, agent.id, mec.CloudBS)
 	}
-	r.trace("cloud", r.res.Rounds, agent.id, mec.CloudBS)
-	r.observe(obs.KindCloudFallback, r.res.Rounds, agent.id, mec.CloudBS)
-	return alloc.Request{}, false
+	return req, bsID, ok
 }
 
-// selectPhase runs every BS's Alg. 1 lines 11-26 on its private ledger and
-// sends accept/reject plus a resource broadcast.
+// selectPhase runs every BS's Alg. 1 lines 11-26 on its private ledger via
+// the engine's select round, then sends accept/reject plus a resource
+// broadcast.
 func (r *runner) selectPhase(round int) {
 	for _, bs := range r.bss {
 		if len(bs.inbox) == 0 {
@@ -374,8 +334,8 @@ func (r *runner) selectPhase(round int) {
 		// ledger.
 		fresh := reqs[:0]
 		for _, req := range reqs {
-			if _, dup := bs.admitted[req.Link.UE]; dup {
-				r.sendAccept(round, bs, req.Link.UE)
+			if bs.admitted[req.UE] {
+				r.sendAccept(round, bs, req.UE)
 				continue
 			}
 			fresh = append(fresh, req)
@@ -385,35 +345,20 @@ func (r *runner) selectPhase(round int) {
 			continue
 		}
 
-		selected := r.cfg.DMRA.SelectPerService(r.net, fresh)
-		total := 0
-		for _, req := range selected {
-			total += req.Link.RRBs
-		}
-		if total > bs.remRRB {
-			r.cfg.DMRA.SortByBSPreference(r.net, selected)
-		}
-		trimmed := false
-		for _, req := range selected {
-			ue := &r.net.UEs[req.Link.UE]
-			fits := bs.remCRU[ue.Service] >= ue.CRUDemand && bs.remRRB >= req.Link.RRBs
-			if !trimmed && fits {
-				bs.remCRU[ue.Service] -= ue.CRUDemand
-				bs.remRRB -= req.Link.RRBs
-				bs.admitted[req.Link.UE] = req.Link
-				r.sendAccept(round, bs, req.Link.UE)
-				continue
+		verdicts, err := r.cfg.DMRA.SelectRound(bs.led, fresh, &bs.sel)
+		if err != nil {
+			if r.fatal == nil {
+				r.fatal = err
 			}
-			// Alg. 1 lines 22-25 admit strictly in preference order:
-			// the first over-budget request trims everything behind it.
-			trimmed = true
-			// A request the post-admission ledger can no longer fit is
-			// rejected permanently (resources never grow back) and the
-			// receiver prunes the BS; a trimmed-but-feasible request
-			// keeps the BS and retries next round — mirroring the
-			// synchronous solver, where the propose-time feasibility
-			// check makes exactly this distinction one round later.
-			r.sendReject(round, bs, req.Link.UE, !fits)
+			return
+		}
+		for _, v := range verdicts {
+			if v.Accepted {
+				bs.admitted[v.Req.UE] = true
+				r.sendAccept(round, bs, v.Req.UE)
+			} else {
+				r.sendReject(round, bs, v.Req.UE, v.Permanent)
+			}
 		}
 
 		r.broadcast(round, bs)
@@ -423,14 +368,14 @@ func (r *runner) selectPhase(round int) {
 		admitted := 0
 		for _, bs := range r.bss {
 			crus := 0
-			for _, c := range bs.remCRU {
+			for _, c := range bs.led.RemainingCRU() {
 				crus += c
 			}
-			r.cfg.Obs.Residual(int(bs.id), crus, bs.remRRB)
+			r.cfg.Obs.Residual(int(bs.id), crus, bs.led.RemainingRRBs())
 			admitted += len(bs.admitted)
 		}
 		r.cfg.Obs.Unmatched(len(r.ues) - admitted)
-		scanned, rescored := r.pref.CacheStats()
+		scanned, rescored := r.prop.CacheStats()
 		r.cfg.Obs.PrefCacheRound(int64(scanned-r.lastScanned), int64(rescored-r.lastRescored))
 		r.lastScanned, r.lastRescored = scanned, rescored
 	}
@@ -472,7 +417,7 @@ func (r *runner) sendReject(round int, bs *bsAgent, u mec.UEID, permanent bool) 
 	agent := r.ues[u]
 	bsID := bs.id
 	r.engine.Schedule(r.cfg.LatencyS, func() {
-		r.pref.DropBS(agent.id, bsID)
+		r.prop.DropBS(agent.id, bsID)
 	})
 }
 
@@ -484,27 +429,21 @@ func (r *runner) broadcast(round int, bs *bsAgent) {
 	r.res.Messages++
 	r.trace("broadcast", round, -1, bs.id)
 	r.observe(obs.KindBroadcast, round, -1, bs.id)
-	remCRU := make([]int, len(bs.remCRU))
-	copy(remCRU, bs.remCRU)
-	remRRB := bs.remRRB
+	remCRU := append([]int(nil), bs.led.RemainingCRU()...)
+	remRRB := bs.led.RemainingRRBs()
 	bsID := bs.id
 	var receivers []mec.UEID
-	for _, u := range bs.coveredUEs {
+	for _, u := range r.views.Covered(bsID) {
 		if r.lost() {
 			continue
 		}
 		receivers = append(receivers, u)
 	}
 	r.engine.Schedule(r.cfg.LatencyS, func() {
-		for _, u := range receivers {
-			if v, ok := r.ues[u].views[bsID]; ok {
-				copy(v.remCRU, remCRU)
-				v.remRRB = remRRB
-			}
-		}
-		// Invalidate cached Eq. 17 scores for this BS. Conservative under
-		// loss: a UE that missed the reception re-scores its unchanged
-		// view, which costs an evaluation but stays exact.
-		r.vers[bsID]++
+		// The version bump inside ApplyBroadcast invalidates cached
+		// Eq. 17 scores for this BS. Conservative under loss: a UE that
+		// missed the reception re-scores its unchanged view, which costs
+		// an evaluation but stays exact.
+		r.views.ApplyBroadcast(bsID, remCRU, remRRB, receivers)
 	})
 }

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"dmra/internal/alloc"
+	"dmra/internal/engine"
 	"dmra/internal/mec"
 	"dmra/internal/obs"
 )
@@ -55,31 +56,13 @@ func (c countingConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// ueState is the coordinator-hosted thin UE agent: the broadcast-derived
-// view of each candidate BS (the shrinking candidate list itself lives in
-// the shared alloc.PrefScorer).
-type ueState struct {
-	id    mec.UEID
-	views map[mec.BSID]*view
-	// vers aliases the coordinator's per-BS response counters, making the
-	// state an alloc.ResidualView for the preference cache.
-	vers     []uint64
+// ueAgent is the coordinator-hosted thin UE agent: assignment status plus
+// a handle on its slice of the shared broadcast-view table. Proposal
+// scoring and the candidate list live in the engine's Proposer.
+type ueAgent struct {
+	view     engine.UEView
 	assigned bool
 	servedBy mec.BSID
-}
-
-// Residual implements alloc.ResidualView over the UE's local views.
-func (st *ueState) Residual(b mec.BSID, j mec.ServiceID) (remCRU, remRRBs int) {
-	v := st.views[b]
-	return v.remCRU[j], v.remRRB
-}
-
-// ResidualVersion implements alloc.ResidualView.
-func (st *ueState) ResidualVersion(b mec.BSID) uint64 { return st.vers[b] }
-
-type view struct {
-	remCRU []int
-	remRRB int
 }
 
 // RunCluster executes DMRA with one TCP server per base station. The
@@ -130,31 +113,12 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 		conns[b] = countingConn{Conn: conn, sent: &perSent[b], received: &perRecv[b]}
 	}
 
-	pref := alloc.NewPrefScorer(net_, cfg)
-	vers := make([]uint64, len(net_.BSs))
+	prop := engine.NewProposer(net_, cfg)
+	views := engine.NewViewTable(net_)
 	var lastScanned, lastRescored uint64
-	ues := make([]*ueState, len(net_.UEs))
+	ues := make([]*ueAgent, len(net_.UEs))
 	for u := range net_.UEs {
-		cands := net_.Candidates(mec.UEID(u))
-		st := &ueState{
-			id:       mec.UEID(u),
-			views:    make(map[mec.BSID]*view, len(cands)),
-			vers:     vers,
-			servedBy: mec.CloudBS,
-		}
-		for _, l := range cands {
-			bs := &net_.BSs[l.BS]
-			v := &view{remCRU: make([]int, len(bs.CRUCapacity)), remRRB: bs.MaxRRBs}
-			copy(v.remCRU, bs.CRUCapacity)
-			st.views[l.BS] = v
-		}
-		ues[u] = st
-	}
-	coveredBy := make([][]mec.UEID, len(net_.BSs))
-	for u := range net_.UEs {
-		for _, l := range net_.Candidates(mec.UEID(u)) {
-			coveredBy[l.BS] = append(coveredBy[l.BS], mec.UEID(u))
-		}
+		ues[u] = &ueAgent{view: views.UE(mec.UEID(u)), servedBy: mec.CloudBS}
 	}
 
 	maxRounds := len(net_.UEs) + 1
@@ -172,8 +136,7 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 			if st.assigned {
 				continue
 			}
-			uid := mec.UEID(u)
-			req, bsID, ok := propose(net_, pref, uid, st)
+			req, bsID, ok := prop.Propose(mec.UEID(u), &st.view)
 			if !ok {
 				rec.Event(obs.KindCloudFallback, round, u, int(mec.CloudBS))
 				continue
@@ -223,20 +186,15 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 					rec.Event(obs.KindRejectPermanent, round, int(v.UE), b)
 					// A trimmed-but-still-feasible request keeps the BS
 					// as a candidate and may retry next round.
-					pref.DropBS(v.UE, mec.BSID(b))
+					prop.DropBS(v.UE, mec.BSID(b))
 				} else {
 					rec.Event(obs.KindRejectTrim, round, int(v.UE), b)
 				}
 			}
 			rec.Event(obs.KindBroadcast, round, -1, b)
-			for _, u := range coveredBy[b] {
-				if vw, ok := ues[u].views[mec.BSID(b)]; ok {
-					copy(vw.remCRU, resp.RemainingCRU)
-					vw.remRRB = resp.RemainingRRBs
-				}
-			}
-			// Invalidate cached Eq. 17 scores against this BS's view.
-			vers[b]++
+			// Apply the resource broadcast to every covered UE's view and
+			// invalidate cached Eq. 17 scores against this BS.
+			views.ApplyBroadcast(mec.BSID(b), resp.RemainingCRU, resp.RemainingRRBs, views.Covered(mec.BSID(b)))
 			if rec != nil {
 				crus := 0
 				for _, c := range resp.RemainingCRU {
@@ -253,7 +211,7 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 				}
 			}
 			rec.Unmatched(unmatched)
-			scanned, rescored := pref.CacheStats()
+			scanned, rescored := prop.CacheStats()
 			rec.PrefCacheRound(int64(scanned-lastScanned), int64(rescored-lastRescored))
 			lastScanned, lastRescored = scanned, rescored
 		}
@@ -286,33 +244,6 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 		res.BytesReceived += t.BytesReceived
 	}
 	return res, nil
-}
-
-// propose picks the UE's best candidate from its local view via the
-// shared preference cache, pruning view-infeasible BSs (Alg. 1 lines
-// 4-10).
-func propose(net_ *mec.Network, pref *alloc.PrefScorer, uid mec.UEID, st *ueState) (Request, mec.BSID, bool) {
-	ue := &net_.UEs[uid]
-	for !pref.Empty(uid) {
-		k, link, ok := pref.Best(uid, st)
-		if !ok {
-			break
-		}
-		vw := st.views[link.BS]
-		if vw.remCRU[ue.Service] >= ue.CRUDemand && vw.remRRB >= link.RRBs {
-			return Request{
-				UE:          uid,
-				Service:     ue.Service,
-				CRUs:        ue.CRUDemand,
-				RRBs:        link.RRBs,
-				SameSP:      link.SameSP,
-				Fu:          net_.CoverCount(uid),
-				PricePerCRU: link.PricePerCRU,
-			}, link.BS, true
-		}
-		pref.Drop(uid, k)
-	}
-	return Request{}, 0, false
 }
 
 // exchange performs one framed request/response on a connection.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"dmra/internal/engine"
 	"dmra/internal/mec"
 )
 
@@ -62,21 +63,10 @@ func ReadFrame(r io.Reader, v any) error {
 }
 
 // Request is one UE service request as it travels to a BS server
-// (Alg. 1 line 7: the UE's identity, demands, and coverage count).
-type Request struct {
-	UE      mec.UEID      `json:"ue"`
-	Service mec.ServiceID `json:"service"`
-	// CRUs is c_j^u and RRBs n_{u,i} for this UE-BS link.
-	CRUs int `json:"crus"`
-	RRBs int `json:"rrbs"`
-	// SameSP tells the BS whether the proposer subscribes to its owner.
-	SameSP bool `json:"sameSP"`
-	// Fu is the UE's coverage count f_u.
-	Fu int `json:"fu"`
-	// PricePerCRU is p_{i,u}; the BS echoes link economics back into its
-	// selection without needing the full network database.
-	PricePerCRU float64 `json:"pricePerCRU"`
-}
+// (Alg. 1 line 7: the UE's identity, demands, and coverage count). It is
+// the engine's request verbatim — engine.Request carries this package's
+// JSON tags so the framed bytes are identical to the pre-engine codec.
+type Request = engine.Request
 
 // RoundRequest is the coordinator->BS frame carrying one round's batch.
 type RoundRequest struct {

@@ -4,12 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
-	"sort"
 	"sync"
 
 	"dmra/internal/alloc"
+	"dmra/internal/engine"
 	"dmra/internal/mec"
 )
 
@@ -23,8 +22,8 @@ type BSServer struct {
 	ln net.Listener
 
 	mu       sync.Mutex
-	remCRU   []int
-	remRRB   int
+	led      *engine.BSLedger
+	sel      engine.SelectScratch
 	admitted map[mec.UEID]bool
 
 	wg      sync.WaitGroup
@@ -44,8 +43,7 @@ func StartBS(id mec.BSID, cruCapacity []int, maxRRBs int, cfg alloc.DMRAConfig) 
 		id:       id,
 		cfg:      cfg,
 		ln:       ln,
-		remCRU:   append([]int(nil), cruCapacity...),
-		remRRB:   maxRRBs,
+		led:      engine.NewBSLedger(cruCapacity, maxRRBs),
 		admitted: make(map[mec.UEID]bool),
 		closed:   make(chan struct{}),
 	}
@@ -110,116 +108,25 @@ func isClosed(err error) bool {
 	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// process runs Alg. 1 lines 11-26 on the server's private ledger.
+// process runs Alg. 1 lines 11-26 — selection, the preference-order trim,
+// admission against the private ledger — through the engine's select
+// round, then snapshots the ledger into the resource broadcast.
 func (s *BSServer) process(req *RoundRequest) *RoundResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	resp := &RoundResponse{Round: req.Round}
-	selected := s.selectPerService(req.Requests)
-	total := 0
-	for _, r := range selected {
-		total += r.RRBs
+	verdicts, err := s.cfg.SelectRound(s.led, req.Requests, &s.sel)
+	if err != nil {
+		s.setErr(fmt.Errorf("wire: BS %d select: %w", s.id, err))
 	}
-	if total > s.remRRB {
-		s.sortByPreference(selected)
-	}
-	trimmed := false
-	for _, r := range selected {
-		fits := s.remCRU[r.Service] >= r.CRUs && s.remRRB >= r.RRBs
-		if !trimmed && fits {
-			s.remCRU[r.Service] -= r.CRUs
-			s.remRRB -= r.RRBs
-			s.admitted[r.UE] = true
-			resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: true})
-			continue
+	for _, v := range verdicts {
+		if v.Accepted {
+			s.admitted[v.Req.UE] = true
 		}
-		// Alg. 1 lines 22-25 admit strictly in preference order: the
-		// first over-budget request trims everything behind it. Only
-		// requests the post-admission ledger can no longer fit at all
-		// are rejected permanently.
-		trimmed = true
-		resp.Verdicts = append(resp.Verdicts, Verdict{UE: r.UE, Accepted: false, Permanent: !fits})
+		resp.Verdicts = append(resp.Verdicts, Verdict{UE: v.Req.UE, Accepted: v.Accepted, Permanent: v.Permanent})
 	}
-	resp.RemainingCRU = append([]int(nil), s.remCRU...)
-	resp.RemainingRRBs = s.remRRB
+	resp.RemainingCRU = append([]int(nil), s.led.RemainingCRU()...)
+	resp.RemainingRRBs = s.led.RemainingRRBs()
 	return resp
-}
-
-// selectPerService mirrors alloc.DMRAConfig.SelectPerService over wire
-// requests: one winner per service, same-SP first, then smallest f_u,
-// then smallest footprint, then lowest UE ID. The cross-implementation
-// parity test in this package guards against drift.
-func (s *BSServer) selectPerService(reqs []Request) []Request {
-	byService := make(map[mec.ServiceID][]Request)
-	var services []mec.ServiceID
-	for _, r := range reqs {
-		if _, seen := byService[r.Service]; !seen {
-			services = append(services, r.Service)
-		}
-		byService[r.Service] = append(byService[r.Service], r)
-	}
-	sort.Slice(services, func(a, b int) bool { return services[a] < services[b] })
-
-	selected := make([]Request, 0, len(services))
-	for _, j := range services {
-		group := byService[j]
-		if s.cfg.SPPriority {
-			var same []Request
-			for _, r := range group {
-				if r.SameSP {
-					same = append(same, r)
-				}
-			}
-			if len(same) > 0 {
-				group = same
-			}
-		}
-		if s.cfg.FuTieBreak {
-			group = argminWire(group, func(r Request) int { return r.Fu })
-		}
-		group = argminWire(group, func(r Request) int { return r.RRBs + r.CRUs })
-		best := group[0]
-		for _, r := range group[1:] {
-			if r.UE < best.UE {
-				best = r
-			}
-		}
-		selected = append(selected, best)
-	}
-	return selected
-}
-
-// sortByPreference mirrors alloc.DMRAConfig.SortByBSPreference.
-func (s *BSServer) sortByPreference(reqs []Request) {
-	sort.SliceStable(reqs, func(a, b int) bool {
-		ra, rb := reqs[a], reqs[b]
-		if s.cfg.SPPriority && ra.SameSP != rb.SameSP {
-			return ra.SameSP
-		}
-		if s.cfg.FuTieBreak && ra.Fu != rb.Fu {
-			return ra.Fu < rb.Fu
-		}
-		fa, fb := ra.RRBs+ra.CRUs, rb.RRBs+rb.CRUs
-		if fa != fb {
-			return fa < fb
-		}
-		return ra.UE < rb.UE
-	})
-}
-
-func argminWire(reqs []Request, key func(Request) int) []Request {
-	best := math.MaxInt
-	for _, r := range reqs {
-		if k := key(r); k < best {
-			best = k
-		}
-	}
-	var out []Request
-	for _, r := range reqs {
-		if key(r) == best {
-			out = append(out, r)
-		}
-	}
-	return out
 }

@@ -1,16 +1,22 @@
 #!/bin/sh
-# Compare the last two BENCH_exp.json records of one benchmark and fail
-# on a ns/op regression beyond the threshold. Run `make bench` before
-# and after a change to append the two records this script diffs.
+# Compare the last two BENCH_exp.json records per benchmark and fail on
+# a ns/op regression beyond the threshold. Run `make bench` before and
+# after a change to append the two records this script diffs. With no
+# benchmark argument, both hot-path gates run: the batch solver
+# (BenchmarkAllocate) and the dynamic session (BenchmarkSession).
 #
 # Usage:
-#   scripts/benchdiff.sh                           BenchmarkAllocate, +20% budget
+#   scripts/benchdiff.sh                           both default gates, +20% budget
 #   scripts/benchdiff.sh BenchmarkNewNetwork       another benchmark
 #   scripts/benchdiff.sh BenchmarkAllocate 0.10    tighter budget
 set -eu
 cd "$(dirname "$0")/.."
 
-bench=${1:-BenchmarkAllocate}
 max_regress=${2:-0.20}
 
-exec go run ./cmd/benchdiff -file BENCH_exp.json -bench "$bench" -max-regress "$max_regress"
+if [ $# -ge 1 ]; then
+	exec go run ./cmd/benchdiff -file BENCH_exp.json -bench "$1" -max-regress "$max_regress"
+fi
+for bench in BenchmarkAllocate BenchmarkSession; do
+	go run ./cmd/benchdiff -file BENCH_exp.json -bench "$bench" -max-regress "$max_regress"
+done

@@ -7,11 +7,28 @@
 # Equivalent to `make check`.
 #
 # Usage:
-#   scripts/check.sh                   vet + race suite + bench smoke + obs determinism
+#   scripts/check.sh                   vet + race suite + bench smoke + obs determinism + engine guard
 #   scripts/check.sh obs-determinism   only the telemetry gate
 #   scripts/check.sh bench-smoke       only the one-iteration benchmark smoke run
+#   scripts/check.sh engine-guard      only the single-round-engine grep guard
 set -eu
 cd "$(dirname "$0")/.."
+
+engine_guard() {
+	# The DMRA round machinery (per-service selection, BS preference
+	# ordering, the select/admit/trim round) lives in internal/engine and
+	# nowhere else. A second implementation appearing in a runtime package
+	# is exactly the duplication the engine refactor deleted; fail before
+	# it can drift.
+	dupes=$(grep -rnE 'func .*(selectPerService|SelectPerService|sortByPreference|SortByBSPreference|bsPrefers|SelectRound)\(' \
+		--include='*.go' . | grep -v '^\./internal/engine/' || true)
+	if [ -n "$dupes" ]; then
+		echo "engine guard: round-machine implementations outside internal/engine:" >&2
+		echo "$dupes" >&2
+		exit 1
+	fi
+	echo "engine guard: round machinery implemented only in internal/engine"
+}
 
 bench_smoke() {
 	# One iteration of each hot-path benchmark: catches benchmarks that
@@ -45,9 +62,18 @@ bench-smoke)
 	bench_smoke
 	exit 0
 	;;
+engine-guard)
+	engine_guard
+	exit 0
+	;;
 esac
 
 go vet ./...
+# The engine's parity-critical tests run race-enabled as part of the full
+# suite below; internal/engine is called out here so a failure names the
+# layer that broke.
+go test -race ./internal/engine/
 go test -race ./...
 bench_smoke
 obs_determinism
+engine_guard
