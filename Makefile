@@ -32,6 +32,10 @@ bench:
 	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$' -benchmem -run '^$$'
 	$(GO) test ./internal/online/ -bench 'BenchmarkSession$$' -benchmem -run '^$$'
 	$(MAKE) bench-baseline
+	# The cluster benchmark table runs after the baseline append: its
+	# loopback socket churn leaves TIME_WAIT entries that would inflate
+	# measurements taken in the following minute.
+	$(GO) test ./internal/wire/ -bench 'BenchmarkCluster$$' -benchmem -run '^$$'
 
 # bench-baseline appends only the baseline lines (no benchmark table)
 # to BENCH_exp.json.
@@ -40,3 +44,4 @@ bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAllocBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/workload/ -run TestWriteNetworkBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteSessionBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/wire/ -run TestWriteClusterBenchBaseline -v

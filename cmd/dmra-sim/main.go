@@ -13,6 +13,9 @@
 //	-rho 250            DMRA resource-preference weight (Eq. 17)
 //	-scenario file      load a scenario JSON instead of defaults
 //	-decentralized      run DMRA as message exchange and report costs
+//	-tcp                run DMRA over real TCP sockets (one server per BS)
+//	-shards 0           coordinator shards for -tcp (0 = one per core)
+//	-exchange-timeout 0 per-frame deadline for -tcp exchanges (0 = default 10s)
 //	-obs-addr host:port serve /metrics, /debug/vars, /debug/pprof live
 //	-trace file         write the typed convergence event stream as JSONL
 //	-obs-hold 30s       keep the debug server up after the run for scraping
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"dmra"
 	"dmra/internal/cliobs"
@@ -47,6 +51,8 @@ func run(args []string) error {
 		scenarioPath  = fs.String("scenario", "", "scenario JSON file (overrides other scenario flags)")
 		decentralized = fs.Bool("decentralized", false, "run DMRA as message exchange on the event simulator")
 		tcp           = fs.Bool("tcp", false, "run DMRA over real TCP sockets (one server per BS)")
+		shards        = fs.Int("shards", 0, "coordinator shards for -tcp (0 = one per core; results are identical for any value)")
+		exchangeTO    = fs.Duration("exchange-timeout", 0, "per-frame deadline for -tcp exchanges (0 = default; a hung BS fails the run with an error naming it)")
 	)
 	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -83,7 +89,7 @@ func run(args []string) error {
 	case *decentralized:
 		err = runDecentralized(net, *rho, obsRT.Rec)
 	case *tcp:
-		err = runTCP(net, *rho, obsRT.Rec)
+		err = runTCP(net, *rho, *shards, *exchangeTO, obsRT.Rec)
 	default:
 		var res dmra.Result
 		if *algo == "dmra" {
@@ -121,10 +127,15 @@ func runDecentralized(net *dmra.Network, rho float64, rec *dmra.ObsRecorder) err
 	return nil
 }
 
-func runTCP(net *dmra.Network, rho float64, rec *dmra.ObsRecorder) error {
+func runTCP(net *dmra.Network, rho float64, shards int, exchangeTO time.Duration, rec *dmra.ObsRecorder) error {
 	cfg := dmra.DefaultDMRAConfig()
 	cfg.Rho = rho
-	cres, err := dmra.RunClusterObserved(net, cfg, rec)
+	cres, err := dmra.RunClusterWith(net, dmra.ClusterConfig{
+		DMRA:            cfg,
+		Shards:          shards,
+		ExchangeTimeout: exchangeTO,
+		Obs:             rec,
+	})
 	if err != nil {
 		return err
 	}

@@ -230,6 +230,22 @@ func RunClusterObserved(net *Network, cfg DMRAConfig, rec *ObsRecorder) (Cluster
 	return wire.RunClusterObserved(net, cfg, rec)
 }
 
+// ClusterConfig is the full TCP-cluster configuration: the DMRA
+// parameters plus the coordinator shard count, the per-frame exchange
+// timeout, and an optional observability recorder. Sharding changes
+// wall-clock only — results are byte-identical for every shard count.
+type ClusterConfig = wire.ClusterConfig
+
+// ClusterBSError is the typed failure of one base station in a cluster
+// run; it names the BS, the round, and the failing operation, and its
+// Timeout method reports an expired exchange deadline (a hung server).
+type ClusterBSError = wire.BSError
+
+// RunClusterWith is RunCluster under a full ClusterConfig.
+func RunClusterWith(net *Network, cfg ClusterConfig) (ClusterResult, error) {
+	return wire.RunClusterWith(net, cfg)
+}
+
 // --- exact optimization ---
 
 // ExactSolution is a profit-optimal assignment of a small instance.

@@ -158,6 +158,7 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 	}
 
 	var stats Stats
+	maxRounds := engine.RoundBound(net)
 	for {
 		stats.Iterations++
 		if d.obs != nil {
@@ -232,11 +233,12 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 			rs.lastScanned, rs.lastRescored = scanned, rescored
 		}
 
-		if stats.Iterations > len(net.UEs)+1 {
-			// Alg. 1 assigns at least one UE per iteration with pending
-			// requests, so this bound can only trip on an implementation
-			// bug. Fail loudly rather than spin.
-			return fmt.Errorf("alloc: DMRA exceeded %d iterations", len(net.UEs)+1)
+		if stats.Iterations > maxRounds {
+			// Every iteration with pending requests either assigns a UE or
+			// permanently drops a candidate link, so engine.RoundBound can
+			// only trip on an implementation bug. Fail loudly rather than
+			// spin.
+			return fmt.Errorf("alloc: DMRA exceeded %d iterations", maxRounds)
 		}
 	}
 
@@ -286,6 +288,7 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 	// inbox[b] collects the service requests BS b received this iteration.
 	inbox := make([][]engine.Request, len(net.BSs))
 
+	maxRounds := engine.RoundBound(net)
 	for {
 		stats.Iterations++
 		if d.obs != nil {
@@ -352,8 +355,8 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 			d.observeRound(net, state)
 		}
 
-		if stats.Iterations > len(net.UEs)+1 {
-			return fmt.Errorf("alloc: DMRA exceeded %d iterations", len(net.UEs)+1)
+		if stats.Iterations > maxRounds {
+			return fmt.Errorf("alloc: DMRA exceeded %d iterations", maxRounds)
 		}
 	}
 

@@ -1,6 +1,10 @@
 package engine
 
-import "dmra/internal/mec"
+import (
+	"fmt"
+
+	"dmra/internal/mec"
+)
 
 // Request is one UE->BS service request of an Alg. 1 iteration, flattened
 // to what the paper's line 7 says a request carries: the UE's identity,
@@ -214,6 +218,24 @@ func (l *BSLedger) Residual(j mec.ServiceID) (remCRU, remRRBs int) {
 func (l *BSLedger) Admit(r Request) error {
 	l.remCRU[r.Service] -= r.CRUs
 	l.remRRB -= r.RRBs
+	return nil
+}
+
+// CheckInvariants reports whether the ledger is in a consistent state: no
+// residual may be negative. SelectRound only admits after a feasibility
+// check, so a violation means the ledger was corrupted from outside the
+// select path (or a driver admitted behind SelectRound's back); the
+// message-passing runtimes check after every round and surface the error
+// to the coordinator instead of silently serving from a broken book.
+func (l *BSLedger) CheckInvariants() error {
+	for j, rem := range l.remCRU {
+		if rem < 0 {
+			return fmt.Errorf("engine: BS ledger invalid: service %d residual CRUs = %d", j, rem)
+		}
+	}
+	if l.remRRB < 0 {
+		return fmt.Errorf("engine: BS ledger invalid: residual RRBs = %d", l.remRRB)
+	}
 	return nil
 }
 

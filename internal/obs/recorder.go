@@ -134,6 +134,30 @@ func (r *Recorder) PrefCacheRound(evaluations, rescored int64) {
 	}
 }
 
+// RoundLatency records one TCP-cluster round's coordinator wall-clock in
+// the wire_round_seconds histogram. Latency histograms never touch the
+// event sink, so observed runs keep a deterministic trace. No-op on a nil
+// recorder.
+func (r *Recorder) RoundLatency(seconds float64) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.reg.Histogram("wire_round_seconds", DefaultLatencyBuckets()).Observe(seconds)
+}
+
+// ShardRoundLatency records one coordinator shard's exchange wall-clock
+// for a round in wire_shard_round_seconds{shard}. Resolved through the
+// registry per call (the registry is mutex-guarded, and shards observe
+// concurrently); this runs once per shard per round, so the lookup stays
+// off the frame hot path. No-op on a nil recorder.
+func (r *Recorder) ShardRoundLatency(shard int, seconds float64) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	name := Label("wire_shard_round_seconds", "shard", strconv.Itoa(shard))
+	r.reg.Histogram(name, DefaultLatencyBuckets()).Observe(seconds)
+}
+
 // TaskDone records one experiment-grid task: its latency lands in the
 // exp_task_seconds histogram and the worker's busy-time gauge, from which
 // per-worker utilization can be read off. No-op on a nil recorder.

@@ -34,9 +34,10 @@ type Config struct {
 	DMRA alloc.DMRAConfig
 	// LatencyS is the one-way message latency in seconds (default 1 ms).
 	LatencyS float64
-	// MaxRounds bounds the protocol (default: one round per UE + 1, the
-	// same progress bound the synchronous solver enjoys; lossy runs get
-	// a proportionally larger default).
+	// MaxRounds bounds the protocol (default: engine.RoundBound — one
+	// round per candidate link + 1, the deferred-acceptance bound that
+	// also covers trim-retry churn; lossy runs get a proportionally
+	// larger default).
 	MaxRounds int
 	// DropRate is the independent loss probability of each point-to-point
 	// message and of each broadcast reception. 0 (default) is the
@@ -139,7 +140,7 @@ func Run(net *mec.Network, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("protocol: drop rate %g outside [0, 1)", cfg.DropRate)
 	}
 	if cfg.MaxRounds <= 0 {
-		cfg.MaxRounds = len(net.UEs) + 1
+		cfg.MaxRounds = engine.RoundBound(net)
 		if cfg.DropRate > 0 {
 			// Retries consume rounds; give lossy runs generous headroom.
 			cfg.MaxRounds *= 10

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dmra/internal/alloc"
+	"dmra/internal/mec"
+	"dmra/internal/workload"
+)
+
+// benchClusterNet builds the rush-hour dense-city scenario (the heaviest
+// case of internal/alloc's BenchmarkAllocate, matching examples/densecity):
+// hotspot-clustered demand and Zipf services over the paper's 25-BS grid.
+func benchClusterNet(b testing.TB) *mec.Network {
+	cfg := workload.Default()
+	cfg.UEs = 1100
+	cfg.UEDist = workload.UEHotspot
+	cfg.HotspotCount = 3
+	cfg.HotspotSigmaM = 100
+	cfg.HotspotFraction = 0.9
+	cfg.ServiceDist = workload.ServiceZipf
+	cfg.ZipfS = 1.1
+	net_, err := cfg.Build(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net_
+}
+
+// benchShards returns the sharded coordinator width to benchmark against
+// the serial one: GOMAXPROCS clamped to [2, 8]. At least 2 so the sharded
+// path is genuinely exercised even on a single-core host — there the
+// exchanges of a round interleave rather than run in parallel, and the
+// comparison degrades to a scheduling-overhead check.
+func benchShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 2 {
+		n = 2
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+func benchCluster(b *testing.B, net_ *mec.Network, shards int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := RunClusterWith(net_, ClusterConfig{DMRA: alloc.DefaultDMRAConfig(), Shards: shards})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds < 1 {
+			b.Fatal("no rounds")
+		}
+	}
+}
+
+// BenchmarkCluster times a full TCP-cluster run — server startup, every
+// framed exchange, shutdown — on the dense-city scenario, serial versus
+// sharded coordinator. The parity tests guarantee both produce identical
+// results; this measures only the wall-clock effect of sharding the
+// exchange fan-out.
+func BenchmarkCluster(b *testing.B) {
+	net_ := benchClusterNet(b)
+	b.Run("densecity-1100ue/shards-1", func(b *testing.B) { benchCluster(b, net_, 1) })
+	b.Run("densecity-1100ue/sharded", func(b *testing.B) { benchCluster(b, net_, benchShards()) })
+}
+
+// minClusterRunNs times iters full cluster runs and returns the fastest,
+// in nanoseconds. Minimum-of-K rather than testing.Benchmark's mean: every
+// run opens |BS| loopback connections, and the TIME_WAIT sockets earlier
+// runs leave behind slow later ones for up to a minute, so a mean drifts
+// with however much socket churn preceded it while the minimum tracks the
+// unpolluted cost.
+func minClusterRunNs(t *testing.T, net_ *mec.Network, shards, iters int) int64 {
+	t.Helper()
+	best := int64(-1)
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if _, err := RunClusterWith(net_, ClusterConfig{DMRA: alloc.DefaultDMRAConfig(), Shards: shards}); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start).Nanoseconds(); best < 0 || d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestWriteClusterBenchBaseline appends one JSON line to the file named
+// by BENCH_BASELINE (skipped when unset): serial and sharded ns/op for
+// the dense-city cluster run plus the shard count and speedup. Run via
+// `make bench`; scripts/benchdiff.sh gates ns/op regressions. Serial and
+// sharded iterations interleave so both face the same socket-table state.
+func TestWriteClusterBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	net_ := benchClusterNet(t)
+	const iters = 4
+	serial, sharded := int64(-1), int64(-1)
+	for i := 0; i < iters; i++ {
+		if d := minClusterRunNs(t, net_, 1, 1); serial < 0 || d < serial {
+			serial = d
+		}
+		if d := minClusterRunNs(t, net_, benchShards(), 1); sharded < 0 || d < sharded {
+			sharded = d
+		}
+	}
+	baseline := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339),
+		"benchmark":  "BenchmarkCluster",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"shards":     benchShards(),
+		"cases": map[string]any{
+			"densecity-1100ue-serial": map[string]any{
+				"ns_op": serial,
+			},
+			"densecity-1100ue-sharded": map[string]any{
+				"ns_op":   sharded,
+				"speedup": float64(serial) / float64(sharded),
+			},
+		},
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended BenchmarkCluster baseline to %s", path)
+}

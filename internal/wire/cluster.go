@@ -3,16 +3,48 @@ package wire
 import (
 	"errors"
 	"fmt"
-	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dmra/internal/alloc"
 	"dmra/internal/engine"
 	"dmra/internal/mec"
 	"dmra/internal/obs"
 )
+
+// DefaultExchangeTimeout bounds a single frame write or read on a per-BS
+// connection when ClusterConfig.ExchangeTimeout is zero. Loopback
+// exchanges complete in microseconds; ten seconds only ever fires on a
+// genuinely wedged server.
+const DefaultExchangeTimeout = 10 * time.Second
+
+// ClusterConfig parameterizes a TCP-cluster run beyond the algorithm
+// itself. The zero value (plus a DMRA config) is a valid single-shard,
+// default-timeout run.
+type ClusterConfig struct {
+	// DMRA is the algorithm configuration shared with alloc.NewDMRA.
+	DMRA alloc.DMRAConfig
+	// Shards is the number of coordinator shard goroutines driving
+	// disjoint BS groups each round (BS b belongs to shard b mod Shards).
+	// Results are byte-identical for every value: verdicts and broadcasts
+	// are merged in global BS order behind a per-round barrier, so
+	// sharding changes wall-clock, never outcome. Shards <= 0 defaults to
+	// min(GOMAXPROCS, |BS|); Shards = 1 is the serial coordinator.
+	Shards int
+	// ExchangeTimeout bounds every frame written to or read from a BS
+	// connection, including the shutdown frames. A hung BS fails the run
+	// with a *BSError naming it (Timeout() == true) instead of blocking
+	// forever. <= 0 selects DefaultExchangeTimeout.
+	ExchangeTimeout time.Duration
+	// Obs, if non-nil, receives the typed convergence event stream
+	// (emitted from the merge goroutine only, in deterministic UE/BS
+	// order), per-round residual gauges, and the wire_round_seconds /
+	// wire_shard_round_seconds{shard} latency histograms.
+	Obs *obs.Recorder
+}
 
 // BSTraffic is the coordinator-side byte accounting for one BS connection.
 type BSTraffic struct {
@@ -25,6 +57,8 @@ type ClusterResult struct {
 	Assignment mec.Assignment
 	// Rounds counts propose/select rounds.
 	Rounds int
+	// Shards is the effective coordinator shard count the run used.
+	Shards int
 	// Frames counts request/response frames exchanged with BS servers.
 	Frames int
 	// BytesSent and BytesReceived count coordinator-side socket traffic
@@ -65,35 +99,81 @@ type ueAgent struct {
 	servedBy mec.BSID
 }
 
+// testHookStartBS, when non-nil, runs on every BS server after it starts
+// and before the coordinator dials it. Tests use it to corrupt ledgers,
+// inject recorded errors, or wedge servers; always nil in production.
+var testHookStartBS func(*BSServer)
+
 // RunCluster executes DMRA with one TCP server per base station. The
 // matching is identical to alloc.NewDMRA(cfg).Allocate(net); the point is
 // exercising the deployment path: serialization, sockets, per-BS
 // concurrency, and clean shutdown.
 func RunCluster(net_ *mec.Network, cfg alloc.DMRAConfig) (ClusterResult, error) {
-	return RunClusterObserved(net_, cfg, nil)
+	return RunClusterWith(net_, ClusterConfig{DMRA: cfg})
 }
 
-// RunClusterObserved is RunCluster with an observability recorder: typed
-// convergence events (round barriers, proposals, verdicts, broadcasts,
-// cloud fallbacks) and per-round residual gauges. The event stream is
-// emitted from the coordinator goroutine only, in deterministic UE/BS
-// order, so a loss-free run produces the identical (round, ue, bs, kind)
-// sequence as internal/protocol on the same network — a parity the tests
-// assert. A nil recorder adds no work.
+// RunClusterObserved is RunCluster with an observability recorder; see
+// ClusterConfig.Obs. A nil recorder adds no work.
 func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Recorder) (ClusterResult, error) {
+	return RunClusterWith(net_, ClusterConfig{DMRA: cfg, Obs: rec})
+}
+
+// RunClusterWith executes DMRA over TCP under the full cluster
+// configuration: cc.Shards coordinator goroutines each drive a disjoint
+// BS group per round, every exchange is bounded by cc.ExchangeTimeout,
+// and any BS-side failure — hung exchange, select error, server close
+// error — surfaces as a *BSError naming the base station.
+//
+// Sharding never changes the outcome: the propose phase and the
+// verdict/broadcast merge run on the calling goroutine in global UE/BS
+// order, with the shard fan-out confined to the socket exchanges between
+// a per-round barrier, so assignments, event streams, and per-BS byte
+// totals are byte-identical across shard counts (parity- and fuzz-tested).
+func RunClusterWith(net_ *mec.Network, cc ClusterConfig) (res ClusterResult, err error) {
+	timeout := cc.ExchangeTimeout
+	if timeout <= 0 {
+		timeout = DefaultExchangeTimeout
+	}
+	shards := cc.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > len(net_.BSs) {
+		shards = len(net_.BSs)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	res.Shards = shards
+	rec := cc.Obs
+
 	servers := make([]*BSServer, len(net_.BSs))
 	conns := make([]net.Conn, len(net_.BSs))
-	var res ClusterResult
+	var stopWorkers func()
 	defer func() {
+		// Teardown order matters: closing the connections first unblocks
+		// any shard still parked in a read, so stopping the workers and
+		// closing the servers cannot deadlock. Server close errors are
+		// folded into the run's error (first failing BS in global order)
+		// instead of being discarded.
 		for _, c := range conns {
 			if c != nil {
 				c.Close()
 			}
 		}
-		for _, s := range servers {
-			if s != nil {
-				s.Close()
+		if stopWorkers != nil {
+			stopWorkers()
+		}
+		for b, s := range servers {
+			if s == nil {
+				continue
 			}
+			if cerr := s.Close(); cerr != nil && err == nil {
+				err = &BSError{BS: mec.BSID(b), Op: "close", Err: cerr}
+			}
+		}
+		if err != nil {
+			res = ClusterResult{}
 		}
 	}()
 
@@ -101,19 +181,22 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 	perSent := make([]atomic.Int64, len(net_.BSs))
 	perRecv := make([]atomic.Int64, len(net_.BSs))
 	for b := range net_.BSs {
-		s, err := StartBS(mec.BSID(b), net_.BSs[b].CRUCapacity, net_.BSs[b].MaxRRBs, cfg)
-		if err != nil {
-			return ClusterResult{}, err
+		s, serr := StartBS(mec.BSID(b), net_.BSs[b].CRUCapacity, net_.BSs[b].MaxRRBs, cc.DMRA, timeout)
+		if serr != nil {
+			return ClusterResult{}, serr
 		}
 		servers[b] = s
-		conn, err := net.Dial("tcp", s.Addr())
-		if err != nil {
-			return ClusterResult{}, fmt.Errorf("wire: dial BS %d: %w", b, err)
+		if testHookStartBS != nil {
+			testHookStartBS(s)
+		}
+		conn, derr := net.Dial("tcp", s.Addr())
+		if derr != nil {
+			return ClusterResult{}, fmt.Errorf("wire: dial BS %d: %w", b, derr)
 		}
 		conns[b] = countingConn{Conn: conn, sent: &perSent[b], received: &perRecv[b]}
 	}
 
-	prop := engine.NewProposer(net_, cfg)
+	prop := engine.NewProposer(net_, cc.DMRA)
 	views := engine.NewViewTable(net_)
 	var lastScanned, lastRescored uint64
 	ues := make([]*ueAgent, len(net_.UEs))
@@ -121,16 +204,74 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 		ues[u] = &ueAgent{view: views.UE(mec.UEID(u)), servedBy: mec.CloudBS}
 	}
 
-	maxRounds := len(net_.UEs) + 1
+	// Shard layout: shard s owns the BSs congruent to s mod shards, fixed
+	// for the whole run. Each shard goroutine performs its group's framed
+	// exchanges for a round and then parks at the barrier; batches are
+	// written before the round is dispatched and responses are read after
+	// the barrier, so the channel send / WaitGroup pair carries all the
+	// synchronization.
+	groups := make([][]int, shards)
+	for b := range net_.BSs {
+		groups[b%shards] = append(groups[b%shards], b)
+	}
+	batches := make([][]Request, len(net_.BSs))
+	responses := make([]*RoundResponse, len(net_.BSs))
+	errs := make([]error, len(net_.BSs))
+
+	work := make([]chan int, shards)
+	var barrier, workers sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		work[s] = make(chan int)
+		workers.Add(1)
+		go func(s int) {
+			defer workers.Done()
+			for round := range work[s] {
+				var start time.Time
+				if rec != nil {
+					start = time.Now()
+				}
+				for _, b := range groups[s] {
+					if len(batches[b]) == 0 {
+						continue
+					}
+					responses[b], errs[b] = exchange(conns[b], timeout, &RoundRequest{Round: round, Requests: batches[b]})
+					if errs[b] != nil {
+						break // the round is doomed; don't serialize more timeouts
+					}
+				}
+				if rec != nil {
+					rec.ShardRoundLatency(s, time.Since(start).Seconds())
+				}
+				barrier.Done()
+			}
+		}(s)
+	}
+	stopWorkers = func() {
+		for _, w := range work {
+			close(w)
+		}
+		workers.Wait()
+	}
+
+	maxRounds := engine.RoundBound(net_)
 	for round := 1; ; round++ {
 		if round > maxRounds {
 			return ClusterResult{}, fmt.Errorf("wire: exceeded %d rounds without quiescing", maxRounds)
 		}
 		res.Rounds = round
+		var roundStart time.Time
+		if rec != nil {
+			roundStart = time.Now()
+		}
 		rec.Event(obs.KindRound, round, -1, -1)
 
-		// Propose phase: identical view-driven logic to internal/protocol.
-		batches := make([][]Request, len(net_.BSs))
+		// Propose phase: identical view-driven logic to internal/protocol,
+		// on the merge goroutine so the event stream stays deterministic.
+		for b := range batches {
+			batches[b] = batches[b][:0]
+			responses[b] = nil
+			errs[b] = nil
+		}
 		anyRequest := false
 		for u, st := range ues {
 			if st.assigned {
@@ -146,31 +287,32 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 			anyRequest = true
 		}
 		if !anyRequest {
+			if rec != nil {
+				rec.RoundLatency(time.Since(roundStart).Seconds())
+			}
 			break
 		}
 
-		// Exchange phase: contact every BS with pending requests
-		// concurrently; responses are applied in BS order afterwards so
-		// the outcome does not depend on goroutine scheduling.
-		responses := make([]*RoundResponse, len(net_.BSs))
-		errs := make([]error, len(net_.BSs))
-		var wg sync.WaitGroup
-		for b := range net_.BSs {
-			if len(batches[b]) == 0 {
-				continue
-			}
-			b := b
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				responses[b], errs[b] = exchange(conns[b], &RoundRequest{Round: round, Requests: batches[b]})
-			}()
+		// Exchange phase: release every shard on its group, then wait at
+		// the round barrier.
+		barrier.Add(shards)
+		for s := 0; s < shards; s++ {
+			work[s] <- round
 		}
-		wg.Wait()
+		barrier.Wait()
+
+		// Merge phase, in global BS order: surface the first failure, then
+		// apply verdicts and broadcasts exactly as the serial coordinator
+		// would, so the outcome is independent of the shard layout.
 		for b := range net_.BSs {
 			if errs[b] != nil {
-				return ClusterResult{}, fmt.Errorf("wire: BS %d round %d: %w", b, round, errs[b])
+				return ClusterResult{}, &BSError{BS: mec.BSID(b), Round: round, Op: "exchange", Err: errs[b]}
 			}
+			if resp := responses[b]; resp != nil && resp.Error != "" {
+				return ClusterResult{}, &BSError{BS: mec.BSID(b), Round: round, Op: "select", Err: errors.New(resp.Error)}
+			}
+		}
+		for b := range net_.BSs {
 			resp := responses[b]
 			if resp == nil {
 				continue
@@ -214,17 +356,21 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 			scanned, rescored := prop.CacheStats()
 			rec.PrefCacheRound(int64(scanned-lastScanned), int64(rescored-lastRescored))
 			lastScanned, lastRescored = scanned, rescored
+			rec.RoundLatency(time.Since(roundStart).Seconds())
 		}
 	}
 
-	// Orderly shutdown: one final frame per BS.
+	// Orderly shutdown: one final deadline-bounded frame per BS.
 	for b, conn := range conns {
-		if err := WriteFrame(conn, &RoundRequest{Shutdown: true}); err != nil {
-			return ClusterResult{}, fmt.Errorf("wire: shutdown BS %d: %w", b, err)
+		if werr := writeFrameDeadline(conn, timeout, &RoundRequest{Shutdown: true}); werr != nil {
+			return ClusterResult{}, &BSError{BS: mec.BSID(b), Op: "shutdown", Err: werr}
 		}
 		var resp RoundResponse
-		if err := ReadFrame(conn, &resp); err != nil && !errors.Is(err, io.EOF) {
-			return ClusterResult{}, fmt.Errorf("wire: shutdown ack BS %d: %w", b, err)
+		if rerr := readFrameDeadline(conn, timeout, &resp); rerr != nil && !isClosed(rerr) {
+			return ClusterResult{}, &BSError{BS: mec.BSID(b), Op: "shutdown", Err: rerr}
+		}
+		if resp.Error != "" {
+			return ClusterResult{}, &BSError{BS: mec.BSID(b), Op: "shutdown", Err: errors.New(resp.Error)}
 		}
 		res.Frames += 2
 	}
@@ -233,8 +379,8 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 	for u, st := range ues {
 		res.Assignment.ServingBS[u] = st.servedBy
 	}
-	if err := mec.ValidateAssignment(net_, res.Assignment); err != nil {
-		return ClusterResult{}, fmt.Errorf("wire: invalid assignment: %w", err)
+	if verr := mec.ValidateAssignment(net_, res.Assignment); verr != nil {
+		return ClusterResult{}, fmt.Errorf("wire: invalid assignment: %w", verr)
 	}
 	res.PerBS = make([]BSTraffic, len(net_.BSs))
 	for b := range res.PerBS {
@@ -246,13 +392,14 @@ func RunClusterObserved(net_ *mec.Network, cfg alloc.DMRAConfig, rec *obs.Record
 	return res, nil
 }
 
-// exchange performs one framed request/response on a connection.
-func exchange(conn net.Conn, req *RoundRequest) (*RoundResponse, error) {
-	if err := WriteFrame(conn, req); err != nil {
+// exchange performs one framed request/response on a connection, each
+// frame bounded by its own deadline.
+func exchange(conn net.Conn, timeout time.Duration, req *RoundRequest) (*RoundResponse, error) {
+	if err := writeFrameDeadline(conn, timeout, req); err != nil {
 		return nil, err
 	}
 	var resp RoundResponse
-	if err := ReadFrame(conn, &resp); err != nil {
+	if err := readFrameDeadline(conn, timeout, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil

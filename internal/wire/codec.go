@@ -96,4 +96,8 @@ type RoundResponse struct {
 	// RemainingCRU and RemainingRRBs mirror the BS ledger after the round.
 	RemainingCRU  []int `json:"remainingCRU"`
 	RemainingRRBs int   `json:"remainingRRBs"`
+	// Error carries a BS-side failure (select error, corrupted ledger) back
+	// to the coordinator, which fails the round instead of applying the
+	// verdicts. Empty on healthy rounds.
+	Error string `json:"error,omitempty"`
 }

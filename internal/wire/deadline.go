@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dmra/internal/mec"
+)
+
+// This file is the only place in the package allowed to move frames over
+// a net.Conn: every call site must state its deadline decision by going
+// through writeFrameDeadline / readFrameDeadline (scripts/check.sh greps
+// against direct WriteFrame/ReadFrame calls on connections). A positive
+// timeout arms the corresponding deadline for just that frame; zero
+// explicitly disarms it, for the one case where blocking forever is the
+// contract — the BS server waiting for the coordinator's next round,
+// whose lifetime is bounded by Close closing the connection instead.
+
+// writeFrameDeadline writes one frame with a write deadline of timeout
+// from now (no deadline when timeout is zero).
+func writeFrameDeadline(conn net.Conn, timeout time.Duration, v any) error {
+	if err := armDeadline(conn.SetWriteDeadline, timeout); err != nil {
+		return err
+	}
+	return WriteFrame(conn, v)
+}
+
+// readFrameDeadline reads one frame with a read deadline of timeout from
+// now (no deadline when timeout is zero).
+func readFrameDeadline(conn net.Conn, timeout time.Duration, v any) error {
+	if err := armDeadline(conn.SetReadDeadline, timeout); err != nil {
+		return err
+	}
+	return ReadFrame(conn, v)
+}
+
+func armDeadline(set func(time.Time) error, timeout time.Duration) error {
+	if timeout <= 0 {
+		return set(time.Time{})
+	}
+	return set(time.Now().Add(timeout))
+}
+
+// BSError is the typed failure of one base station's exchange: it names
+// the BS (and round, when inside one) so a hung or broken server is
+// identifiable from the error alone. Unwrap exposes the underlying cause;
+// Timeout reports whether the failure was an expired exchange deadline.
+type BSError struct {
+	BS mec.BSID
+	// Round is the 1-based round the failure happened in, or 0 outside the
+	// round loop (shutdown, close).
+	Round int
+	// Op is the failing operation: "exchange", "select", "shutdown", or
+	// "close".
+	Op  string
+	Err error
+}
+
+func (e *BSError) Error() string {
+	if e.Round > 0 {
+		return fmt.Sprintf("wire: BS %d %s round %d: %v", e.BS, e.Op, e.Round, e.Err)
+	}
+	return fmt.Sprintf("wire: BS %d %s: %v", e.BS, e.Op, e.Err)
+}
+
+func (e *BSError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the failure was a deadline expiry — the hung-BS
+// case ExchangeTimeout exists for.
+func (e *BSError) Timeout() bool {
+	var ne net.Error
+	return errors.As(e.Err, &ne) && ne.Timeout()
+}

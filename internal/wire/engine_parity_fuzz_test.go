@@ -58,8 +58,15 @@ func FuzzEngineParity(f *testing.F) {
 			t.Fatalf("seed %d: protocol: %v", seed, err)
 		}
 
+		// The shard count is seed-derived so the fuzzer also explores the
+		// sharded coordinator: event parity against the protocol runtime
+		// below is exactly the sharding determinism guarantee.
 		wireSink := obs.NewSink(nil, 1<<17)
-		cluster, err := RunClusterObserved(net_, alloc.DefaultDMRAConfig(), obs.NewRecorder(nil, wireSink))
+		cluster, err := RunClusterWith(net_, ClusterConfig{
+			DMRA:   alloc.DefaultDMRAConfig(),
+			Shards: 1 + int(seed/3%8),
+			Obs:    obs.NewRecorder(nil, wireSink),
+		})
 		if err != nil {
 			t.Fatalf("seed %d: cluster: %v", seed, err)
 		}

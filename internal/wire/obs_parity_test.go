@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"net"
 	"testing"
+	"time"
 
 	"dmra/internal/alloc"
 	"dmra/internal/obs"
@@ -41,7 +42,9 @@ func TestTraceParityProtocolVsWire(t *testing.T) {
 			return err
 		})
 		cluster := traceKeys(t, func(rec *obs.Recorder) error {
-			_, err := RunClusterObserved(net_, alloc.DefaultDMRAConfig(), rec)
+			cc := testClusterConfig(alloc.DefaultDMRAConfig())
+			cc.Obs = rec
+			_, err := RunClusterWith(net_, cc)
 			return err
 		})
 		if len(proto) != len(cluster) {
@@ -61,7 +64,7 @@ func TestTraceParityProtocolVsWire(t *testing.T) {
 // run totals.
 func TestClusterPerBSTraffic(t *testing.T) {
 	net_ := buildNet(t, 120, 3)
-	res, err := RunClusterObserved(net_, alloc.DefaultDMRAConfig(), nil)
+	res, err := RunClusterWith(net_, testClusterConfig(alloc.DefaultDMRAConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +88,7 @@ func TestClusterPerBSTraffic(t *testing.T) {
 // syntactically valid frame header carrying garbage JSON is a protocol
 // failure, which serve() must remember (setErr) and Close must report.
 func TestBSServerBadFrameSurfacesError(t *testing.T) {
-	s, err := StartBS(0, []int{50}, 20, alloc.DefaultDMRAConfig())
+	s, err := StartBS(0, []int{50}, 20, alloc.DefaultDMRAConfig(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,6 +103,17 @@ func TestBSServerBadFrameSurfacesError(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn.Close()
+	// Close severs the server's connection, which could beat the read of
+	// the buffered garbage; wait for the server to observe the frame so the
+	// test asserts the guarantee (Close reports what the server saw), not
+	// the race.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.recordedErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the decode error")
+		}
+		time.Sleep(time.Millisecond)
+	}
 	if err := s.Close(); err == nil {
 		t.Fatal("Close returned nil after a garbage frame; want the decode error")
 	}
@@ -109,7 +123,7 @@ func TestBSServerBadFrameSurfacesError(t *testing.T) {
 // coordinator vanishing between frames is an orderly close (EOF /
 // ErrClosed), not a protocol failure, so Close must return nil.
 func TestBSServerAbruptCloseIsClean(t *testing.T) {
-	s, err := StartBS(1, []int{50}, 20, alloc.DefaultDMRAConfig())
+	s, err := StartBS(1, []int{50}, 20, alloc.DefaultDMRAConfig(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +149,7 @@ func TestBSServerAbruptCloseIsClean(t *testing.T) {
 // TestBSServerTruncatedFrameIsClean: a connection dying inside a frame
 // body surfaces as an unexpected EOF, which isClosed treats as teardown.
 func TestBSServerTruncatedFrameIsClean(t *testing.T) {
-	s, err := StartBS(2, []int{50}, 20, alloc.DefaultDMRAConfig())
+	s, err := StartBS(2, []int{50}, 20, alloc.DefaultDMRAConfig(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"dmra/internal/alloc"
 	"dmra/internal/engine"
@@ -16,8 +17,9 @@ import (
 // resource ledger. It accepts a single coordinator connection and answers
 // RoundRequest frames until a Shutdown frame, EOF, or Close.
 type BSServer struct {
-	id  mec.BSID
-	cfg alloc.DMRAConfig
+	id           mec.BSID
+	cfg          alloc.DMRAConfig
+	writeTimeout time.Duration
 
 	ln net.Listener
 
@@ -26,26 +28,42 @@ type BSServer struct {
 	sel      engine.SelectScratch
 	admitted map[mec.UEID]bool
 
-	wg      sync.WaitGroup
-	closed  chan struct{}
-	onceErr sync.Once
-	err     error
+	// connMu guards conn, the single accepted coordinator connection,
+	// which Close must be able to close to unblock a serve goroutine
+	// parked in a read.
+	connMu sync.Mutex
+	conn   net.Conn
+
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	errMu sync.Mutex
+	err   error
+
+	// stall, when non-nil, parks serve before answering each frame until
+	// the channel is closed (or the server is). Tests set it via the
+	// coordinator's start hook to simulate a wedged BS and exercise the
+	// exchange deadlines; always nil in production.
+	stall chan struct{}
 }
 
 // StartBS launches a BS server on 127.0.0.1 with an ephemeral port.
+// writeTimeout bounds each response write (zero means unbounded).
 // Callers must Close it.
-func StartBS(id mec.BSID, cruCapacity []int, maxRRBs int, cfg alloc.DMRAConfig) (*BSServer, error) {
+func StartBS(id mec.BSID, cruCapacity []int, maxRRBs int, cfg alloc.DMRAConfig, writeTimeout time.Duration) (*BSServer, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen: %w", err)
 	}
 	s := &BSServer{
-		id:       id,
-		cfg:      cfg,
-		ln:       ln,
-		led:      engine.NewBSLedger(cruCapacity, maxRRBs),
-		admitted: make(map[mec.UEID]bool),
-		closed:   make(chan struct{}),
+		id:           id,
+		cfg:          cfg,
+		writeTimeout: writeTimeout,
+		ln:           ln,
+		led:          engine.NewBSLedger(cruCapacity, maxRRBs),
+		admitted:     make(map[mec.UEID]bool),
+		closed:       make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.serve()
@@ -55,23 +73,42 @@ func StartBS(id mec.BSID, cruCapacity []int, maxRRBs int, cfg alloc.DMRAConfig) 
 // Addr returns the server's dialable address.
 func (s *BSServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and waits for its goroutines to exit.
+// Close stops the server, waits for its goroutine to exit, and returns
+// the first protocol failure the server recorded (nil on an orderly
+// shutdown). Safe to call concurrently and repeatedly: the teardown runs
+// once and every caller observes the same error.
 func (s *BSServer) Close() error {
-	s.ln.Close()
-	select {
-	case <-s.closed:
-	default:
+	s.closeOnce.Do(func() {
 		close(s.closed)
-	}
+		s.ln.Close()
+		s.connMu.Lock()
+		if s.conn != nil {
+			s.conn.Close()
+		}
+		s.connMu.Unlock()
+	})
 	s.wg.Wait()
-	if s.err != nil && !errors.Is(s.err, net.ErrClosed) {
-		return s.err
+	if err := s.recordedErr(); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
 	}
 	return nil
 }
 
+// setErr records the first protocol failure; later ones are dropped.
 func (s *BSServer) setErr(err error) {
-	s.onceErr.Do(func() { s.err = err })
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// recordedErr returns the first recorded failure (nil if none yet). Tests
+// poll it to order a Close after the server has observed a bad frame.
+func (s *BSServer) recordedErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
 }
 
 // serve accepts the coordinator connection and answers rounds.
@@ -83,17 +120,40 @@ func (s *BSServer) serve() {
 		return
 	}
 	defer conn.Close()
+	// Publish the connection so Close can sever it, then re-check closed:
+	// a Close racing with the accept may have missed the conn, in which
+	// case the closed channel is what stops us.
+	s.connMu.Lock()
+	s.conn = conn
+	s.connMu.Unlock()
+	select {
+	case <-s.closed:
+		return
+	default:
+	}
 	for {
 		var req RoundRequest
-		if err := ReadFrame(conn, &req); err != nil {
+		// The idle read is deliberately unbounded: the coordinator paces
+		// rounds, and the server's lifetime is bounded by Close closing
+		// the connection, not by a read deadline.
+		if err := readFrameDeadline(conn, 0, &req); err != nil {
 			if !isClosed(err) {
 				s.setErr(err)
 			}
 			return
 		}
 		resp := s.process(&req)
-		if err := WriteFrame(conn, resp); err != nil {
-			s.setErr(err)
+		if s.stall != nil {
+			select {
+			case <-s.stall:
+			case <-s.closed:
+				return
+			}
+		}
+		if err := writeFrameDeadline(conn, s.writeTimeout, resp); err != nil {
+			if !isClosed(err) {
+				s.setErr(err)
+			}
 			return
 		}
 		if req.Shutdown {
@@ -110,15 +170,24 @@ func isClosed(err error) bool {
 
 // process runs Alg. 1 lines 11-26 — selection, the preference-order trim,
 // admission against the private ledger — through the engine's select
-// round, then snapshots the ledger into the resource broadcast.
+// round, then snapshots the ledger into the resource broadcast. A select
+// failure or a ledger that fails its invariant check is recorded for
+// Close and reported in-band via RoundResponse.Error, so the coordinator
+// fails the round instead of applying verdicts from a broken book.
 func (s *BSServer) process(req *RoundRequest) *RoundResponse {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	resp := &RoundResponse{Round: req.Round}
 	verdicts, err := s.cfg.SelectRound(s.led, req.Requests, &s.sel)
+	if err == nil {
+		err = s.led.CheckInvariants()
+	}
 	if err != nil {
-		s.setErr(fmt.Errorf("wire: BS %d select: %w", s.id, err))
+		err = fmt.Errorf("wire: BS %d select: %w", s.id, err)
+		s.setErr(err)
+		resp.Error = err.Error()
+		return resp
 	}
 	for _, v := range verdicts {
 		if v.Accepted {

@@ -1,0 +1,326 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dmra/internal/alloc"
+	"dmra/internal/engine"
+	"dmra/internal/mec"
+	"dmra/internal/obs"
+	"dmra/internal/workload"
+)
+
+// testClusterConfig is the cluster configuration the package's functional
+// tests run under. scripts/check.sh sweeps DMRA_TEST_SHARDS over shard
+// counts so every parity and accounting test doubles as a sharding test;
+// unset, tests exercise the serial coordinator.
+func testClusterConfig(cfg alloc.DMRAConfig) ClusterConfig {
+	cc := ClusterConfig{DMRA: cfg, Shards: 1}
+	if v := os.Getenv("DMRA_TEST_SHARDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			panic("DMRA_TEST_SHARDS must be an integer, got " + v)
+		}
+		cc.Shards = n
+	}
+	return cc
+}
+
+// setStartHook installs a BS-server start hook for one test and removes it
+// on cleanup. Tests using it must not run in parallel (the hook is a
+// package global).
+func setStartHook(t *testing.T, hook func(*BSServer)) {
+	t.Helper()
+	testHookStartBS = hook
+	t.Cleanup(func() { testHookStartBS = nil })
+}
+
+// drainLedger rewinds a server's ledger to z CRUs per service and z RRBs,
+// keeping the service count so SelectRound stays in bounds.
+func drainLedger(s *BSServer, z int) {
+	services := len(s.led.RemainingCRU())
+	cru := make([]int, services)
+	for j := range cru {
+		cru[j] = z
+	}
+	s.led.Reset(cru, z)
+}
+
+// TestClusterShardParity is the tentpole's determinism gate: for several
+// shard counts, a sharded run must be byte-identical to the serial
+// coordinator — same assignment, same ordered event stream, same rounds,
+// frames, and per-BS byte totals.
+func TestClusterShardParity(t *testing.T) {
+	net_ := buildNet(t, 220, 11)
+
+	run := func(shards int) (ClusterResult, []obs.Event) {
+		sink := obs.NewSink(nil, 1<<17)
+		cc := ClusterConfig{
+			DMRA:   alloc.DefaultDMRAConfig(),
+			Shards: shards,
+			Obs:    obs.NewRecorder(nil, sink),
+		}
+		res, err := RunClusterWith(net_, cc)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Shards < 1 {
+			t.Fatalf("shards=%d: effective shard count %d", shards, res.Shards)
+		}
+		return res, sink.Events()
+	}
+
+	base, baseEvents := run(1)
+	for _, shards := range []int{2, 3, 7, 0} {
+		res, events := run(shards)
+		if res.Rounds != base.Rounds || res.Frames != base.Frames {
+			t.Fatalf("shards=%d: rounds/frames %d/%d, serial %d/%d",
+				shards, res.Rounds, res.Frames, base.Rounds, base.Frames)
+		}
+		for u := range base.Assignment.ServingBS {
+			if res.Assignment.ServingBS[u] != base.Assignment.ServingBS[u] {
+				t.Fatalf("shards=%d: UE %d assigned %d, serial %d",
+					shards, u, res.Assignment.ServingBS[u], base.Assignment.ServingBS[u])
+			}
+		}
+		if len(events) != len(baseEvents) {
+			t.Fatalf("shards=%d: %d events, serial %d", shards, len(events), len(baseEvents))
+		}
+		for i := range events {
+			if events[i].Key() != baseEvents[i].Key() || events[i].Kind != baseEvents[i].Kind {
+				t.Fatalf("shards=%d event %d: %+v, serial %+v", shards, i, events[i], baseEvents[i])
+			}
+		}
+		for b := range base.PerBS {
+			if res.PerBS[b] != base.PerBS[b] {
+				t.Fatalf("shards=%d BS %d: traffic %+v, serial %+v",
+					shards, b, res.PerBS[b], base.PerBS[b])
+			}
+		}
+	}
+}
+
+// TestClusterShardLatencyHistograms checks the per-round and per-shard
+// wall-clock histograms land in the registry without touching the event
+// stream.
+func TestClusterShardLatencyHistograms(t *testing.T) {
+	net_ := buildNet(t, 80, 4)
+	reg := obs.NewRegistry()
+	cc := ClusterConfig{
+		DMRA:   alloc.DefaultDMRAConfig(),
+		Shards: 3,
+		Obs:    obs.NewRecorder(reg, nil),
+	}
+	res, err := RunClusterWith(net_, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundHist := reg.Histogram("wire_round_seconds", obs.DefaultLatencyBuckets())
+	if got := roundHist.Count(); got != int64(res.Rounds) {
+		t.Errorf("wire_round_seconds count = %d, want %d rounds", got, res.Rounds)
+	}
+	for s := 0; s < res.Shards; s++ {
+		name := obs.Label("wire_shard_round_seconds", "shard", strconv.Itoa(s))
+		if reg.Histogram(name, obs.DefaultLatencyBuckets()).Count() == 0 {
+			t.Errorf("shard %d recorded no round latencies", s)
+		}
+	}
+}
+
+// TestClusterHungBSTimesOut is the deadline gate: a BS that accepts the
+// request but never answers must fail the run within ExchangeTimeout with
+// a typed error naming a base station, instead of deadlocking.
+func TestClusterHungBSTimesOut(t *testing.T) {
+	setStartHook(t, func(s *BSServer) {
+		s.stall = make(chan struct{}) // never closed: the server wedges before replying
+	})
+	net_ := buildNet(t, 60, 2)
+	cc := ClusterConfig{
+		DMRA:            alloc.DefaultDMRAConfig(),
+		Shards:          3,
+		ExchangeTimeout: 150 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := RunClusterWith(net_, cc)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("run with wedged servers returned nil error")
+	}
+	var bse *BSError
+	if !errors.As(err, &bse) {
+		t.Fatalf("error %v (%T) is not a *BSError", err, err)
+	}
+	if bse.Op != "exchange" || bse.Round != 1 {
+		t.Errorf("BSError op=%q round=%d, want exchange round 1", bse.Op, bse.Round)
+	}
+	if !bse.Timeout() {
+		t.Errorf("BSError.Timeout() = false for a hung BS: %v", err)
+	}
+	if int(bse.BS) < 0 || int(bse.BS) >= len(net_.BSs) {
+		t.Errorf("BSError names BS %d, outside [0, %d)", bse.BS, len(net_.BSs))
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("failure took %v; want roughly the 150ms exchange timeout", elapsed)
+	}
+}
+
+// TestClusterSelectErrorSurfaces forces a BS-side select failure (a ledger
+// driven into an invalid state) and checks it reaches the caller as a
+// *BSError instead of the round being applied. Regression for verdicts
+// formerly being applied from a broken book with the error only held in
+// the server.
+func TestClusterSelectErrorSurfaces(t *testing.T) {
+	setStartHook(t, func(s *BSServer) {
+		drainLedger(s, -1) // invalid: negative residuals fail CheckInvariants
+	})
+	net_ := buildNet(t, 60, 2)
+	res, err := RunClusterWith(net_, ClusterConfig{DMRA: alloc.DefaultDMRAConfig(), Shards: 2})
+	if err == nil {
+		t.Fatal("run with corrupted ledgers returned nil error")
+	}
+	var bse *BSError
+	if !errors.As(err, &bse) {
+		t.Fatalf("error %v (%T) is not a *BSError", err, err)
+	}
+	if bse.Op != "select" || bse.Round != 1 {
+		t.Errorf("BSError op=%q round=%d, want select round 1", bse.Op, bse.Round)
+	}
+	if !strings.Contains(err.Error(), "ledger invalid") {
+		t.Errorf("error %q does not carry the ledger diagnosis", err)
+	}
+	if res.Assignment.ServingBS != nil {
+		t.Error("failed run returned a non-zero result")
+	}
+}
+
+// TestClusterCloseErrorFolded is the satellite's regression: an error the
+// BS server records during the run but that never rides a response frame
+// used to be swallowed by the coordinator's deferred Close. It must now
+// fold into RunCluster's return value.
+func TestClusterCloseErrorFolded(t *testing.T) {
+	injected := errors.New("injected ledger corruption")
+	setStartHook(t, func(s *BSServer) {
+		if s.id == 2 {
+			s.setErr(injected)
+		}
+	})
+	net_ := buildNet(t, 60, 2)
+	_, err := RunClusterWith(net_, ClusterConfig{DMRA: alloc.DefaultDMRAConfig(), Shards: 2})
+	if err == nil {
+		t.Fatal("recorded server error was swallowed; want it folded into the run error")
+	}
+	var bse *BSError
+	if !errors.As(err, &bse) {
+		t.Fatalf("error %v (%T) is not a *BSError", err, err)
+	}
+	if bse.Op != "close" || bse.BS != 2 {
+		t.Errorf("BSError op=%q bs=%d, want close on BS 2", bse.Op, bse.BS)
+	}
+	if !errors.Is(err, injected) {
+		t.Errorf("folded error %v does not wrap the server's recorded error", err)
+	}
+}
+
+// TestClusterNoGoroutineLeakOnFailure checks the failure path tears
+// everything down: after a run fails mid-round, every shard worker and BS
+// server goroutine must exit (asserted by goroutine count, since the
+// module carries no leak-checker dependency).
+func TestClusterNoGoroutineLeakOnFailure(t *testing.T) {
+	setStartHook(t, func(s *BSServer) {
+		drainLedger(s, -1)
+	})
+	before := runtime.NumGoroutine()
+	net_ := buildNet(t, 60, 2)
+	if _, err := RunClusterWith(net_, ClusterConfig{DMRA: alloc.DefaultDMRAConfig(), Shards: 4}); err == nil {
+		t.Fatal("expected the run to fail")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before failed run, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterRoundsExceedUEPlusOne is the round-bound satellite's
+// adversarial case: when BS ledgers have diverged from UE views (here:
+// servers restarted with drained books), retry churn makes the run need
+// more than |UE|+1 rounds — each round only removes one candidate link.
+// The old |UE|+1 cap aborted such runs; the deferred-acceptance bound
+// (engine.RoundBound: one round per candidate link, plus the final empty
+// round) lets them terminate, and this scenario meets it exactly.
+func TestClusterRoundsExceedUEPlusOne(t *testing.T) {
+	cfg := workload.Default()
+	cfg.SPs = 3
+	cfg.BSsPerSP = 1
+	cfg.UEs = 1
+	cfg.Services = 1
+	cfg.ServicesPerBS = 1
+	cfg.AreaWidthM, cfg.AreaHeightM = 400, 400
+	cfg.Radio.CoverageRadiusM = 1000 // every BS covers the lone UE
+	net_, err := cfg.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := len(net_.Candidates(0))
+	if cands < 3 {
+		t.Fatalf("scenario gives the UE %d candidates, need >= 3", cands)
+	}
+
+	// Drain every ledger to zero behind the UE's back: views still claim
+	// full capacity, so the UE proposes to each candidate in turn and
+	// collects one permanent reject per round.
+	setStartHook(t, func(s *BSServer) {
+		drainLedger(s, 0)
+	})
+	res, err := RunClusterWith(net_, ClusterConfig{DMRA: alloc.DefaultDMRAConfig(), Shards: 2})
+	if err != nil {
+		t.Fatalf("run exceeded the round bound it should satisfy: %v", err)
+	}
+	if want := len(net_.UEs) + 1; res.Rounds <= want {
+		t.Fatalf("rounds = %d, want > |UE|+1 = %d (scenario failed to exercise the old bound)", res.Rounds, want)
+	}
+	if want := engine.RoundBound(net_); res.Rounds != want {
+		t.Errorf("rounds = %d, want exactly RoundBound = %d", res.Rounds, want)
+	}
+	if res.Assignment.ServingBS[0] != mec.CloudBS {
+		t.Errorf("UE 0 assigned to BS %d, want cloud (all books drained)", res.Assignment.ServingBS[0])
+	}
+}
+
+// TestBSServerConcurrentClose hammers Close from several goroutines while
+// the serve loop is parked in a read on a live connection; run under
+// -race this is the regression for the old racy select/default close.
+func TestBSServerConcurrentClose(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		s, err := StartBS(0, []int{50}, 20, alloc.DefaultDMRAConfig(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := make(chan error, 3)
+		for g := 0; g < 3; g++ {
+			go func() { errs <- s.Close() }()
+		}
+		for g := 0; g < 3; g++ {
+			if err := <-errs; err != nil {
+				t.Fatalf("concurrent close %d: %v", g, err)
+			}
+		}
+		conn.Close()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"io"
 	"testing"
+	"time"
 
 	"dmra/internal/alloc"
 	"dmra/internal/mec"
@@ -110,7 +111,7 @@ func TestClusterParityWithSolver(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			dist, err := RunCluster(net, alloc.DefaultDMRAConfig())
+			dist, err := RunClusterWith(net, testClusterConfig(alloc.DefaultDMRAConfig()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +135,7 @@ func TestClusterParityAcrossConfigs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		dist, err := RunCluster(net, cfg)
+		dist, err := RunClusterWith(net, testClusterConfig(cfg))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func TestClusterParityAcrossConfigs(t *testing.T) {
 
 func TestClusterAccounting(t *testing.T) {
 	net := buildNet(t, 120, 3)
-	res, err := RunCluster(net, alloc.DefaultDMRAConfig())
+	res, err := RunClusterWith(net, testClusterConfig(alloc.DefaultDMRAConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestClusterAccounting(t *testing.T) {
 }
 
 func TestBSServerLifecycle(t *testing.T) {
-	s, err := StartBS(0, []int{100}, 55, alloc.DefaultDMRAConfig())
+	s, err := StartBS(0, []int{100}, 55, alloc.DefaultDMRAConfig(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,11 +187,11 @@ func TestBSServerLifecycle(t *testing.T) {
 
 func TestClusterRepeatable(t *testing.T) {
 	net := buildNet(t, 100, 9)
-	a, err := RunCluster(net, alloc.DefaultDMRAConfig())
+	a, err := RunClusterWith(net, testClusterConfig(alloc.DefaultDMRAConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunCluster(net, alloc.DefaultDMRAConfig())
+	b, err := RunClusterWith(net, testClusterConfig(alloc.DefaultDMRAConfig()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,10 +7,12 @@
 # Equivalent to `make check`.
 #
 # Usage:
-#   scripts/check.sh                   vet + race suite + bench smoke + obs determinism + engine guard
+#   scripts/check.sh                   vet + race suite + wire shard sweep + bench smoke + obs determinism + guards
 #   scripts/check.sh obs-determinism   only the telemetry gate
 #   scripts/check.sh bench-smoke       only the one-iteration benchmark smoke run
 #   scripts/check.sh engine-guard      only the single-round-engine grep guard
+#   scripts/check.sh wire-guard        only the wire deadline grep guard
+#   scripts/check.sh wire-shards       only the race-enabled wire suite at several shard counts
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -30,12 +32,39 @@ engine_guard() {
 	echo "engine guard: round machinery implemented only in internal/engine"
 }
 
+wire_guard() {
+	# Every frame moved over a live connection in internal/wire must go
+	# through the deadline helpers, which force each call site to state its
+	# timeout decision. A direct WriteFrame/ReadFrame on a conn is how an
+	# unbounded read sneaks back in and a hung BS becomes a deadlock again.
+	direct=$(grep -rnE '\b(WriteFrame|ReadFrame)\(' internal/wire --include='*.go' \
+		| grep -v '_test\.go' | grep -v 'internal/wire/codec\.go' \
+		| grep -v 'internal/wire/deadline\.go' || true)
+	if [ -n "$direct" ]; then
+		echo "wire guard: frame I/O bypassing the deadline helpers:" >&2
+		echo "$direct" >&2
+		exit 1
+	fi
+	echo "wire guard: all wire frame I/O goes through the deadline helpers"
+}
+
+wire_shards() {
+	# The sharded coordinator must be byte-identical to the serial one; run
+	# the whole wire suite race-enabled at both widths so every parity and
+	# accounting test doubles as a sharding test.
+	for shards in 1 3; do
+		DMRA_TEST_SHARDS=$shards go test -race -count=1 ./internal/wire/
+	done
+	echo "wire shards: race-enabled wire suite passed at shards 1 and 3"
+}
+
 bench_smoke() {
 	# One iteration of each hot-path benchmark: catches benchmarks that
 	# panic or scenarios that no longer build, without timing anything.
 	go test -run '^$' -bench 'BenchmarkAllocate$|BenchmarkNewNetwork$' \
 		-benchtime 1x ./internal/alloc/ ./internal/workload/
-	echo "bench smoke: BenchmarkAllocate and BenchmarkNewNetwork ran clean"
+	go test -run '^$' -bench 'BenchmarkCluster$' -benchtime 1x ./internal/wire/
+	echo "bench smoke: BenchmarkAllocate, BenchmarkNewNetwork, and BenchmarkCluster ran clean"
 }
 
 obs_determinism() {
@@ -66,6 +95,14 @@ engine-guard)
 	engine_guard
 	exit 0
 	;;
+wire-guard)
+	wire_guard
+	exit 0
+	;;
+wire-shards)
+	wire_shards
+	exit 0
+	;;
 esac
 
 go vet ./...
@@ -74,6 +111,8 @@ go vet ./...
 # layer that broke.
 go test -race ./internal/engine/
 go test -race ./...
+wire_shards
 bench_smoke
 obs_determinism
 engine_guard
+wire_guard
