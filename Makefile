@@ -30,7 +30,7 @@ bench:
 	$(GO) test ./internal/exp/ -bench 'BenchmarkFigureRun|BenchmarkFigureRunObserved' -benchmem -run '^$$'
 	$(GO) test ./internal/alloc/ -bench 'BenchmarkAllocate$$|BenchmarkAllocateNaive$$' -benchmem -run '^$$'
 	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$' -benchmem -run '^$$'
-	$(GO) test ./internal/online/ -bench 'BenchmarkSession$$' -benchmem -run '^$$'
+	$(GO) test ./internal/online/ -bench 'BenchmarkSession$$|BenchmarkDynamicSession$$' -benchmem -run '^$$'
 	$(MAKE) bench-baseline
 	# The cluster benchmark table runs after the baseline append: its
 	# loopback socket churn leaves TIME_WAIT entries that would inflate
@@ -44,4 +44,5 @@ bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAllocBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/workload/ -run TestWriteNetworkBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteSessionBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteDynamicSessionBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/wire/ -run TestWriteClusterBenchBaseline -v

@@ -8,6 +8,8 @@
 //
 //	-rate 5        arrivals per second
 //	-hold 120      mean task holding time (seconds)
+//	-spec ""       dynamic workload spec (JSON: cohorts, arrival processes,
+//	               trace replay; replaces -rate/-hold)
 //	-duration 600  simulated horizon (seconds)
 //	-epoch 1       re-allocation period (seconds)
 //	-algo dmra     matching policy per epoch
@@ -19,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"dmra"
@@ -41,6 +44,7 @@ func run(args []string) error {
 		hold      = fs.Float64("hold", 120, "mean task holding time (s)")
 		duration  = fs.Float64("duration", 600, "simulated horizon (s)")
 		epoch     = fs.Float64("epoch", 1, "re-allocation period (s)")
+		spec      = fs.String("spec", "", "dynamic workload spec file (JSON; replaces -rate/-hold)")
 		algo      = fs.String("algo", "dmra", "matching policy (dmra|dcsp|nonco|random|greedy|stablematch)")
 		seed      = fs.Uint64("seed", 1, "session seed")
 		pool      = fs.Int("pool", 0, "concurrent-UE profile pool (0 = 4x offered load)")
@@ -66,15 +70,15 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.RecordSeries = *series
 	cfg.Obs = obsRT.Rec
-	if *pool > 0 {
-		cfg.Scenario.UEs = *pool
-	} else {
-		// Size the profile pool at 4x the steady-state offered load
-		// (Little's law) so saturation of the pool itself is unlikely.
-		cfg.Scenario.UEs = int(4 * *rate * *hold)
-		if cfg.Scenario.UEs < 100 {
-			cfg.Scenario.UEs = 100
+	if *spec != "" {
+		ws, err := dmra.LoadWorkloadSpec(*spec)
+		if err != nil {
+			return err
 		}
+		cfg.Workload = &ws
+	}
+	if cfg.Scenario.UEs, err = poolSize(cfg, *pool, *rate, *hold); err != nil {
+		return err
 	}
 
 	if *replicate > 1 {
@@ -89,17 +93,35 @@ func run(args []string) error {
 		return err
 	}
 
-	fmt.Printf("dynamic session: %.1f UE/s, %.0f s mean hold, %.0f s horizon, %s every %.1f s (seed %d)\n\n",
-		*rate, *hold, *duration, *algo, *epoch, *seed)
+	if cfg.Workload != nil {
+		fmt.Printf("dynamic session: spec %s (%d cohorts), %.0f s horizon, %s every %.1f s (seed %d)\n\n",
+			*spec, len(cfg.Workload.Cohorts), *duration, *algo, *epoch, *seed)
+	} else {
+		fmt.Printf("dynamic session: %.1f UE/s, %.0f s mean hold, %.0f s horizon, %s every %.1f s (seed %d)\n\n",
+			*rate, *hold, *duration, *algo, *epoch, *seed)
+	}
 	fmt.Printf("arrivals:        %d (%d departures within horizon, %d pool-saturated)\n",
 		rep.Arrivals, rep.Departures, rep.Saturated)
 	fmt.Printf("admissions:      %d edge + %d cloud (edge ratio %.0f%%)\n",
 		rep.EdgeServed, rep.CloudServed, 100*rep.EdgeRatio())
-	fmt.Printf("mean concurrent: %.1f UEs (Little's law predicts ~%.1f)\n",
-		rep.MeanConcurrent, *rate**hold)
+	if offered, err := offeredLoad(cfg); err == nil {
+		fmt.Printf("mean concurrent: %.1f UEs (Little's law predicts ~%.1f)\n",
+			rep.MeanConcurrent, offered)
+	} else {
+		fmt.Printf("mean concurrent: %.1f UEs\n", rep.MeanConcurrent)
+	}
 	fmt.Printf("RRB occupancy:   %.0f%% (time-averaged)\n", 100*rep.MeanOccupancyRRB)
 	fmt.Printf("profit-time:     %.0f price-units x s over %d epochs (%d matcher invocations)\n",
 		rep.ProfitTime, rep.Epochs, rep.ReassignChecks)
+
+	if len(rep.Cohorts) > 0 {
+		fmt.Printf("\n%-12s %6s %8s %8s %9s %6s %6s\n",
+			"cohort", "pool", "arrivals", "departs", "saturated", "edge", "cloud")
+		for _, c := range rep.Cohorts {
+			fmt.Printf("%-12s %6d %8d %8d %9d %6d %6d\n",
+				c.Name, c.PoolSize, c.Arrivals, c.Departures, c.Saturated, c.EdgeServed, c.CloudServed)
+		}
+	}
 
 	if *series && len(rep.Series) > 0 {
 		fmt.Println()
@@ -127,6 +149,52 @@ func run(args []string) error {
 	return obsRT.Close()
 }
 
+// maxAutoPool bounds the auto-sized profile pool. Each profile costs
+// precomputed link state; a request past this bound is almost certainly a
+// mistyped rate or hold, so the sizing fails loudly instead of attempting
+// a multi-gigabyte build (or, worse, overflowing int and passing a
+// negative UE count downstream).
+const maxAutoPool = 1 << 20
+
+// poolSize resolves the concurrent-UE profile pool: an explicit -pool
+// wins; otherwise the pool is sized at 4x the steady-state offered load
+// (Little's law) so saturation of the pool itself is unlikely, clamped
+// to [100, maxAutoPool]. Trace-replay specs have no intrinsic load and
+// require an explicit -pool.
+func poolSize(cfg dmra.OnlineConfig, pool int, rate, hold float64) (int, error) {
+	if pool > 0 {
+		return pool, nil
+	}
+	if pool < 0 {
+		return 0, fmt.Errorf("-pool %d: want positive", pool)
+	}
+	offered, err := offeredLoad(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("cannot auto-size the profile pool (%w); pass -pool explicitly", err)
+	}
+	if math.IsNaN(offered) || math.IsInf(offered, 0) || offered < 0 {
+		return 0, fmt.Errorf("offered load %g UE/s x s (rate %g, hold %g): want non-negative and finite", offered, rate, hold)
+	}
+	p := 4 * offered
+	if p > maxAutoPool {
+		return 0, fmt.Errorf("auto-sized profile pool %.0f exceeds %d (offered load %.0f concurrent UEs); pass -pool explicitly if this load is intended", p, maxAutoPool, offered)
+	}
+	n := int(p)
+	if n < 100 {
+		n = 100
+	}
+	return n, nil
+}
+
+// offeredLoad returns the configured workload's steady-state concurrent
+// population (Little's law).
+func offeredLoad(cfg dmra.OnlineConfig) (float64, error) {
+	if cfg.Workload != nil {
+		return cfg.Workload.OfferedLoad()
+	}
+	return cfg.ArrivalRate * cfg.MeanHoldS, nil
+}
+
 // runReplicated aggregates n independent sessions (seeds cfg.Seed ..
 // cfg.Seed+n-1) run across procs workers. Each replication writes only
 // its own slot, so the printed summary is independent of scheduling.
@@ -152,8 +220,13 @@ func runReplicated(cfg dmra.OnlineConfig, n, procs int, rec *dmra.ObsRecorder) e
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dynamic sessions: %d replications, %.1f UE/s, %.0f s mean hold, %.0f s horizon, %s every %.1f s (seeds %d-%d)\n\n",
-		n, cfg.ArrivalRate, cfg.MeanHoldS, cfg.DurationS, cfg.Algorithm, cfg.EpochS, cfg.Seed, cfg.Seed+uint64(n)-1)
+	if cfg.Workload != nil {
+		fmt.Printf("dynamic sessions: %d replications, %d-cohort workload spec, %.0f s horizon, %s every %.1f s (seeds %d-%d)\n\n",
+			n, len(cfg.Workload.Cohorts), cfg.DurationS, cfg.Algorithm, cfg.EpochS, cfg.Seed, cfg.Seed+uint64(n)-1)
+	} else {
+		fmt.Printf("dynamic sessions: %d replications, %.1f UE/s, %.0f s mean hold, %.0f s horizon, %s every %.1f s (seeds %d-%d)\n\n",
+			n, cfg.ArrivalRate, cfg.MeanHoldS, cfg.DurationS, cfg.Algorithm, cfg.EpochS, cfg.Seed, cfg.Seed+uint64(n)-1)
+	}
 	for _, row := range []struct {
 		name string
 		s    metrics.Summary

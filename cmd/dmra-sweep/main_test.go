@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -91,6 +92,90 @@ func TestSweepErrors(t *testing.T) {
 		{"-values", "100", "-algos", "oracle"},
 		{"-values", "100", "-metric", "jitter"},
 		{"-zzz"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestArrivalRateSweep(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-param", "arrival-rate", "-values", "1,2", "-algos", "dmra",
+			"-hold", "20", "-duration", "60", "-seeds", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"profit vs arrival-rate", "dmra"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestArrivalRateSweepMetricsAndCSV(t *testing.T) {
+	for _, metric := range []string{"served", "edge-ratio", "concurrent", "occupancy"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-param", "arrival-rate", "-values", "2", "-algos", "greedy",
+				"-hold", "15", "-duration", "40", "-seeds", "1", "-metric", metric})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", metric, err)
+		}
+		if !strings.Contains(out, metric) {
+			t.Errorf("%s: metric missing from title:\n%s", metric, out)
+		}
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"-param", "arrival-rate", "-values", "2", "-algos", "greedy",
+			"-hold", "15", "-duration", "40", "-seeds", "1", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "arrival-rate,greedy_mean,greedy_ci95") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+}
+
+func TestArrivalRateSweepWithSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(`{
+  "version": 1,
+  "cohorts": [
+    {"name": "steady", "poolShare": 0.5,
+     "arrival": {"process": "poisson", "rateHz": 3},
+     "holdS": {"dist": "exponential", "mean": 20}},
+    {"name": "bursty", "poolShare": 0.5,
+     "arrival": {"process": "gamma", "rateHz": 1, "cv": 2},
+     "holdS": {"dist": "constant", "value": 10}}
+  ]
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"-param", "arrival-rate", "-values", "2,4", "-algos", "greedy",
+			"-spec", path, "-duration", "60", "-seeds", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "arrival-rate") {
+		t.Errorf("output wrong:\n%s", out)
+	}
+}
+
+func TestArrivalRateSweepErrors(t *testing.T) {
+	cases := [][]string{
+		// Batch-only metric in online mode.
+		{"-param", "arrival-rate", "-values", "1", "-algos", "greedy", "-metric", "latency", "-duration", "30"},
+		// Offered load past the auto-pool bound.
+		{"-param", "arrival-rate", "-values", "1e9", "-algos", "greedy", "-hold", "1e9"},
+		// Missing spec file.
+		{"-param", "arrival-rate", "-values", "1", "-algos", "greedy", "-spec", "no-such-spec.json"},
 	}
 	for _, args := range cases {
 		if _, err := capture(t, func() error { return run(args) }); err == nil {

@@ -40,6 +40,7 @@ import (
 	"dmra/internal/qos"
 	"dmra/internal/wire"
 	"dmra/internal/workload"
+	"dmra/internal/workload/dynamic"
 )
 
 // Scenario describes a full simulation setup: SPs, BSs, UEs, radio and
@@ -301,6 +302,32 @@ func DefaultOnlineConfig() OnlineConfig {
 // holding times, periodic re-allocation with the configured algorithm.
 func RunOnline(cfg OnlineConfig) (OnlineReport, error) {
 	return online.Run(cfg)
+}
+
+// WorkloadSpec is a versioned dynamic-workload description: traffic
+// cohorts with their own arrival processes (poisson, bursty gamma,
+// weibull, diurnal spike/drain), session-lifetime and demand
+// distributions, or a recorded CSV trace replayed through the same
+// machinery. Assign one to OnlineConfig.Workload to replace the default
+// Poisson/exponential driver.
+type WorkloadSpec = dynamic.Spec
+
+// CohortReport is one cohort's slice of an online session's lifecycle
+// counters.
+type CohortReport = online.CohortReport
+
+// LoadWorkloadSpec reads and validates a JSON workload spec. Unknown
+// keys are rejected; a relative trace path is resolved against the spec
+// file's directory.
+func LoadWorkloadSpec(path string) (WorkloadSpec, error) {
+	return dynamic.Load(path)
+}
+
+// DefaultWorkloadSpec returns the spec equivalent of the default online
+// driver: one cohort, Poisson arrivals at rateHz, exponential lifetimes
+// with mean meanHoldS.
+func DefaultWorkloadSpec(rateHz, meanHoldS float64) WorkloadSpec {
+	return dynamic.Default(rateHz, meanHoldS)
 }
 
 // --- figure reproduction ---

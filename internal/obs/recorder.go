@@ -134,6 +134,18 @@ func (r *Recorder) PrefCacheRound(evaluations, rescored int64) {
 	}
 }
 
+// CohortCounter returns the online-session lifecycle counter
+// online_cohort_<event>_total{cohort=...} for one workload cohort.
+// Sessions resolve their cohorts' counters once at setup, so the
+// per-event hot path is a plain atomic increment. Nil (and free) when
+// the recorder or its registry is nil.
+func (r *Recorder) CohortCounter(event, cohort string) *Counter {
+	if r == nil || r.reg == nil {
+		return nil
+	}
+	return r.reg.Counter(Label("online_cohort_"+event+"_total", "cohort", cohort))
+}
+
 // RoundLatency records one TCP-cluster round's coordinator wall-clock in
 // the wire_round_seconds histogram. Latency histograms never touch the
 // event sink, so observed runs keep a deterministic trace. No-op on a nil

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"testing"
 	"time"
+
+	"dmra/internal/workload/dynamic"
 )
 
 // benchSessionConfig is the pinned BenchmarkSession scenario: a moderately
@@ -73,4 +75,106 @@ func TestWriteSessionBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("appended BenchmarkSession baseline to %s", path)
+}
+
+// benchWorkloadSpecs pins one single-cohort spec per arrival process at
+// the same offered load as benchSessionConfig (3 UE/s x 60 s), so the
+// per-process events/sec numbers in BENCH_exp.json time comparable work.
+func benchWorkloadSpecs() []struct {
+	name string
+	spec *dynamic.Spec
+} {
+	hold := dynamic.DistSpec{Dist: dynamic.DistExponential, Mean: 60}
+	one := func(a dynamic.ArrivalSpec) *dynamic.Spec {
+		return &dynamic.Spec{
+			Version: dynamic.SpecVersion,
+			Cohorts: []dynamic.Cohort{{Name: "all", PoolShare: 1, Arrival: a, HoldS: hold}},
+		}
+	}
+	return []struct {
+		name string
+		spec *dynamic.Spec
+	}{
+		{"poisson", one(dynamic.ArrivalSpec{Process: dynamic.ProcessPoisson, RateHz: 3})},
+		{"gamma", one(dynamic.ArrivalSpec{Process: dynamic.ProcessGamma, RateHz: 3, CV: 2})},
+		{"weibull", one(dynamic.ArrivalSpec{Process: dynamic.ProcessWeibull, RateHz: 3, Shape: 1.5})},
+		{"diurnal", one(dynamic.ArrivalSpec{Process: dynamic.ProcessDiurnal, RateHz: 3,
+			Phases: []dynamic.PhaseSpec{{DurationS: 30, RateFactor: 0.5}, {DurationS: 30, RateFactor: 1.5}}})},
+	}
+}
+
+// BenchmarkDynamicSession times a full spec-driven session per arrival
+// process and reports the engine's events/sec throughput alongside
+// ns/op.
+func BenchmarkDynamicSession(b *testing.B) {
+	for _, tc := range benchWorkloadSpecs() {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := benchSessionConfig()
+			cfg.Workload = tc.spec
+			events := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				rep, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += rep.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// TestWriteDynamicSessionBenchBaseline appends one per-case JSON line
+// (ns/op and events/sec per arrival process) to the file named by
+// BENCH_BASELINE. Run via `make bench`; scripts/benchdiff.sh compares
+// the last two records case by case.
+func TestWriteDynamicSessionBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	cases := map[string]any{}
+	for _, tc := range benchWorkloadSpecs() {
+		cfg := benchSessionConfig()
+		cfg.Workload = tc.spec
+		events := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			events = 0
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				rep, err := Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += rep.Events
+			}
+		})
+		perOp := float64(events) / float64(r.N)
+		cases[tc.name] = map[string]any{
+			"ns_op":          r.NsPerOp(),
+			"events_per_op":  perOp,
+			"events_per_sec": perOp / (float64(r.NsPerOp()) / 1e9),
+		}
+	}
+	baseline := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339),
+		"benchmark":  "BenchmarkDynamicSession",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"cases":      cases,
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended BenchmarkDynamicSession baseline to %s", path)
 }

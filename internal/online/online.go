@@ -4,13 +4,27 @@
 // environment. Namely, the best association changes over time."
 //
 // A Session drives a continuous-time simulation on internal/sim: UEs
-// arrive as a Poisson process, hold their allocation for an exponential
-// service time, then depart and release their BS's resources. At every
-// re-allocation epoch the configured matching policy runs over the UEs
-// currently waiting (arrivals since the last epoch plus earlier cloud
-// fallbacks that are still active), exactly as a periodically-executed
-// DMRA would in deployment. The collector reports time-averaged profit
-// rate, edge-service ratio, and per-epoch allocation latency proxies.
+// arrive under per-cohort arrival processes (the default is the paper's
+// homogeneous Poisson stream; a dynamic workload spec can declare bursty
+// gamma/Weibull cohorts, diurnal spike/drain phases, or a recorded CSV
+// trace — see internal/workload/dynamic), hold their allocation for a
+// cohort-distributed session lifetime, then depart and release their
+// BS's resources. At every re-allocation epoch the configured matching
+// policy runs over the UEs currently waiting (arrivals since the last
+// epoch plus earlier cloud fallbacks that are still active), exactly as
+// a periodically-executed DMRA would in deployment. The collector
+// reports time-averaged profit rate, edge-service ratio, per-epoch
+// allocation latency proxies, and per-cohort lifecycle counters.
+//
+// # Horizon semantics
+//
+// The horizon [0, DurationS] is closed on the right: any event scheduled
+// at exactly DurationS still fires (an epoch re-matches, a departure
+// counts and releases resources), but an arrival at exactly DurationS is
+// not admitted — no service time remains. Events scheduled strictly
+// after DurationS never fire: the drive loop stops at the horizon
+// instead of draining departures into dead time, so no state or
+// profit-rate mutation happens after the integrals are clamped.
 package online
 
 import (
@@ -24,6 +38,7 @@ import (
 	"dmra/internal/rng"
 	"dmra/internal/sim"
 	"dmra/internal/workload"
+	"dmra/internal/workload/dynamic"
 )
 
 // Config parameterizes a dynamic session.
@@ -33,13 +48,23 @@ type Config struct {
 	// is generated once and each arrival activates one of the inactive
 	// profiles, so radio/link state stays precomputed.
 	Scenario workload.Config
-	// ArrivalRate is the Poisson arrival intensity in UEs per second.
+	// ArrivalRate is the Poisson arrival intensity in UEs per second for
+	// the default single-cohort process (ignored when Workload is set).
 	ArrivalRate float64
-	// MeanHoldS is the mean exponential task holding time in seconds.
+	// MeanHoldS is the mean exponential task holding time in seconds for
+	// the default single-cohort process (ignored when Workload is set).
 	MeanHoldS float64
+	// Workload, when non-nil, replaces the default Poisson/exponential
+	// traffic with the spec's cohorts: per-cohort arrival processes,
+	// session-lifetime distributions, demand distributions over disjoint
+	// slices of the profile pool, or CSV trace replay. The default
+	// (nil) keeps the paper's original driver, byte-identical under
+	// existing seeds.
+	Workload *dynamic.Spec
 	// EpochS is the re-allocation period in seconds.
 	EpochS float64
-	// DurationS is the simulated horizon in seconds.
+	// DurationS is the simulated horizon in seconds (see the package
+	// comment for the exact boundary semantics).
 	DurationS float64
 	// Algorithm names the matching policy re-run each epoch ("dmra",
 	// "dcsp", "nonco", "greedy", "random").
@@ -51,9 +76,10 @@ type Config struct {
 	// RecordSeries captures a per-epoch sample of the session state in
 	// Report.Series (off by default to keep reports small).
 	RecordSeries bool
-	// Obs, when non-nil and Algorithm == "dmra", streams every epoch's
-	// DMRA convergence events and counters to the recorder. Nil (the
-	// default) adds no per-epoch work and the report is identical.
+	// Obs, when non-nil, streams every epoch's DMRA convergence events
+	// (when Algorithm == "dmra") and the per-cohort lifecycle counters
+	// to the recorder. Nil (the default) adds no per-epoch work and the
+	// report is identical.
 	Obs *obs.Recorder
 }
 
@@ -78,11 +104,17 @@ func DefaultConfig() Config {
 
 // Validate reports the first invalid field.
 func (c Config) Validate() error {
+	if c.Workload == nil {
+		switch {
+		case c.ArrivalRate <= 0 || math.IsNaN(c.ArrivalRate) || math.IsInf(c.ArrivalRate, 0):
+			return fmt.Errorf("online: arrival rate %g, want positive and finite", c.ArrivalRate)
+		case c.MeanHoldS <= 0 || math.IsNaN(c.MeanHoldS) || math.IsInf(c.MeanHoldS, 0):
+			return fmt.Errorf("online: mean hold %g, want positive and finite", c.MeanHoldS)
+		}
+	} else if err := c.Workload.Validate(); err != nil {
+		return err
+	}
 	switch {
-	case c.ArrivalRate <= 0:
-		return fmt.Errorf("online: arrival rate %g, want positive", c.ArrivalRate)
-	case c.MeanHoldS <= 0:
-		return fmt.Errorf("online: mean hold %g, want positive", c.MeanHoldS)
 	case c.EpochS <= 0:
 		return fmt.Errorf("online: epoch %g, want positive", c.EpochS)
 	case c.DurationS <= 0:
@@ -120,8 +152,27 @@ type Report struct {
 	// examined across them.
 	Epochs         int
 	ReassignChecks int
+	// Events counts discrete-event executions inside the horizon
+	// (arrivals, departures, epochs) — the denominator of the engine's
+	// events/sec throughput.
+	Events int
+	// Cohorts breaks the lifecycle counts down per workload cohort, in
+	// spec order, when the session ran under a dynamic workload spec
+	// (nil for the default single-process session).
+	Cohorts []CohortReport
 	// Series holds one sample per epoch when Config.RecordSeries is set.
 	Series []EpochSample
+}
+
+// CohortReport is one cohort's slice of the lifecycle counters.
+type CohortReport struct {
+	// Name is the cohort's spec name.
+	Name string
+	// PoolSize is the number of UE profiles in the cohort's slice of
+	// the scenario population.
+	PoolSize int
+	Arrivals, Departures, Saturated int
+	EdgeServed, CloudServed         int
 }
 
 // EpochSample is the session state at one re-allocation epoch.
@@ -153,7 +204,11 @@ func Run(cfg Config) (Report, error) {
 	if err := cfg.Validate(); err != nil {
 		return Report{}, err
 	}
-	net, err := cfg.Scenario.Build(cfg.Seed)
+	plans, ranges, err := planWorkload(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	net, err := cfg.Scenario.BuildWithDemand(cfg.Seed, ranges)
 	if err != nil {
 		return Report{}, err
 	}
@@ -171,20 +226,193 @@ func Run(cfg Config) (Report, error) {
 		state:     mec.NewState(net),
 		subview:   net.NewSubView(),
 		allocator: allocator,
-		src:       rng.New(cfg.Seed).SplitLabeled("online"),
 		active:    make(map[mec.UEID]placement, len(net.UEs)),
+		cohortOf:  make([]int, len(net.UEs)),
 	}
-	// Every profile starts inactive and available.
-	s.inactive = make([]mec.UEID, len(net.UEs))
-	for i := range s.inactive {
-		s.inactive[i] = mec.UEID(i)
+	root := rng.New(cfg.Seed)
+	s.cohorts = make([]*cohortRun, len(plans))
+	for i, p := range plans {
+		co := &cohortRun{name: p.name, pool: p.count, proc: p.proc, hold: p.hold, demands: p.traceDemands}
+		if cfg.Workload == nil {
+			// The legacy driver's single stream, so default sessions
+			// stay byte-identical under existing seeds.
+			co.src = root.SplitLabeled("online")
+		} else {
+			co.src = root.SplitLabeled("online-cohort:" + p.name)
+		}
+		co.inactive = make([]mec.UEID, p.count)
+		for j := range co.inactive {
+			co.inactive[j] = mec.UEID(p.start + j)
+			s.cohortOf[p.start+j] = i
+		}
+		co.counters = newCohortCounters(cfg.Obs, p.name)
+		s.cohorts[i] = co
 	}
 	return s.run()
+}
+
+// cohortPlan is one cohort's resolved slice of the session: its profile
+// range, arrival process, lifetime sampler, and (in trace mode) its
+// recorded demand hints.
+type cohortPlan struct {
+	name         string
+	start, count int
+	proc         dynamic.Process
+	hold         dynamic.Sampler
+	traceDemands []int
+}
+
+// planWorkload resolves the configured workload into per-cohort plans
+// plus the demand-override ranges the scenario build needs. The default
+// (nil spec) plan is a single cohort owning the whole pool with the
+// legacy Poisson/exponential process.
+func planWorkload(cfg Config) ([]cohortPlan, []workload.DemandRange, error) {
+	if cfg.Workload == nil {
+		return []cohortPlan{{
+			name:  "default",
+			start: 0, count: cfg.Scenario.UEs,
+			proc: dynamic.Poisson{RateHz: cfg.ArrivalRate},
+			hold: dynamic.ExpSampler{Mean: cfg.MeanHoldS},
+		}}, nil, nil
+	}
+	spec := *cfg.Workload
+
+	// Partition the profile pool by cohort share: floor allocation with
+	// the remainder handed to the earliest cohorts, so the split is
+	// deterministic and exact.
+	n := len(spec.Cohorts)
+	sizes := make([]int, n)
+	total := 0
+	for i, c := range spec.Cohorts {
+		sizes[i] = int(c.PoolShare * float64(cfg.Scenario.UEs))
+		total += sizes[i]
+	}
+	for i := 0; total < cfg.Scenario.UEs && i < n; i++ {
+		sizes[i]++
+		total++
+	}
+	plans := make([]cohortPlan, n)
+	var ranges []workload.DemandRange
+	start := 0
+	for i, c := range spec.Cohorts {
+		if sizes[i] == 0 {
+			return nil, nil, fmt.Errorf("online: cohort %q gets an empty profile slice (share %g of %d UEs); raise Scenario.UEs",
+				c.Name, c.PoolShare, cfg.Scenario.UEs)
+		}
+		hold, err := c.HoldS.NewSampler()
+		if err != nil {
+			return nil, nil, err
+		}
+		plans[i] = cohortPlan{name: c.Name, start: start, count: sizes[i], hold: hold}
+		if spec.Trace == "" {
+			if plans[i].proc, err = c.Arrival.NewProcess(); err != nil {
+				return nil, nil, err
+			}
+		}
+		if c.CRUDemandMax != 0 || c.RateMaxBps != 0 {
+			ranges = append(ranges, workload.DemandRange{
+				Start: start, Count: sizes[i],
+				CRUDemandMin: c.CRUDemandMin, CRUDemandMax: c.CRUDemandMax,
+				RateMinBps: c.RateMinBps, RateMaxBps: c.RateMaxBps,
+			})
+		}
+		start += sizes[i]
+	}
+
+	if spec.Trace != "" {
+		events, err := dynamic.LoadTrace(spec.Trace)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := spec.CheckTrace(events); err != nil {
+			return nil, nil, err
+		}
+		times, demands := dynamic.SplitTrace(events)
+		for i := range plans {
+			plans[i].proc = dynamic.NewReplay(times[plans[i].name])
+			plans[i].traceDemands = demands[plans[i].name]
+		}
+	}
+	return plans, ranges, nil
 }
 
 // placement records where an active UE's task runs.
 type placement struct {
 	bs mec.BSID // CloudBS for cloud-served tasks
+}
+
+// cohortRun is one cohort's live state inside a session.
+type cohortRun struct {
+	name string
+	pool int
+	proc dynamic.Process
+	hold dynamic.Sampler
+	// src is the cohort's private draw stream (the shared legacy stream
+	// for the default single-cohort session).
+	src      *rng.Source
+	inactive []mec.UEID
+	// demands holds the cohort's recorded CRU-demand hints in trace
+	// mode, consumed one per arrival event (admitted or saturated).
+	demands   []int
+	demandIdx int
+
+	arrivals, departures, saturated int
+	edgeServed, cloudServed         int
+	counters                        cohortCounters
+}
+
+// nextDemand consumes the cohort's next trace demand hint (0 when the
+// cohort is generative or the hint column was empty).
+func (co *cohortRun) nextDemand() int {
+	if co.demandIdx >= len(co.demands) {
+		return 0
+	}
+	d := co.demands[co.demandIdx]
+	co.demandIdx++
+	return d
+}
+
+// take removes and returns one inactive profile. Without a demand hint
+// it picks uniformly at random (keeping the active population's
+// spatial/service mix); with a hint it picks the profile whose CRU
+// demand is nearest the recorded value, lowest UE ID winning ties.
+func (co *cohortRun) take(net *mec.Network, hint int) mec.UEID {
+	k := 0
+	if hint <= 0 {
+		k = co.src.Intn(len(co.inactive))
+	} else {
+		best := math.MaxInt
+		for j, u := range co.inactive {
+			d := net.UEs[u].CRUDemand - hint
+			if d < 0 {
+				d = -d
+			}
+			if d < best || (d == best && u < co.inactive[k]) {
+				best, k = d, j
+			}
+		}
+	}
+	u := co.inactive[k]
+	co.inactive[k] = co.inactive[len(co.inactive)-1]
+	co.inactive = co.inactive[:len(co.inactive)-1]
+	return u
+}
+
+// cohortCounters are the per-cohort obs counters, resolved once at
+// session setup (all nil — and free — without a recorder).
+type cohortCounters struct {
+	arrivals, departures, saturated *obs.Counter
+	edgeServed, cloudServed         *obs.Counter
+}
+
+func newCohortCounters(rec *obs.Recorder, cohort string) cohortCounters {
+	return cohortCounters{
+		arrivals:    rec.CohortCounter("arrivals", cohort),
+		departures:  rec.CohortCounter("departures", cohort),
+		saturated:   rec.CohortCounter("saturated", cohort),
+		edgeServed:  rec.CohortCounter("edge_served", cohort),
+		cloudServed: rec.CohortCounter("cloud_served", cohort),
+	}
 }
 
 type session struct {
@@ -200,10 +428,11 @@ type session struct {
 	// session reuses one assignment buffer (and, through the allocator's
 	// pooled scratch, one preference cache) for the whole run.
 	epochRes alloc.Result
-	src      *rng.Source
 	engine   sim.Engine
 
-	inactive []mec.UEID
+	cohorts []*cohortRun
+	// cohortOf maps each UE profile to its cohort's index in cohorts.
+	cohortOf []int
 	// waiting holds arrivals not yet matched (between epochs).
 	waiting []mec.UEID
 	active  map[mec.UEID]placement
@@ -223,31 +452,47 @@ func (s *session) run() (Report, error) {
 		s.totalRRBs += bs.MaxRRBs
 	}
 
-	s.engine.Schedule(s.nextArrival(), s.arrival)
-	s.engine.Schedule(s.cfg.EpochS, s.epoch)
-	// Drive to the horizon; arrival/epoch events re-arm themselves and
-	// check the horizon before acting.
-	for s.engine.Step() {
+	for _, co := range s.cohorts {
+		s.scheduleNextArrival(co)
 	}
+	s.engine.Schedule(s.cfg.EpochS, s.epoch)
+	// Drive to the horizon and stop: events at exactly DurationS fire,
+	// departures scheduled past it never do, so nothing mutates state or
+	// profitRate after the integrals are clamped below.
+	s.engine.RunUntil(s.cfg.DurationS)
 	s.integrateTo(s.cfg.DurationS)
 
+	s.rep.Events = s.engine.Processed()
 	s.rep.MeanConcurrent = s.areaActive / s.cfg.DurationS
 	if s.totalRRBs > 0 {
 		s.rep.MeanOccupancyRRB = s.areaRRBUsed / (s.cfg.DurationS * float64(s.totalRRBs))
 	}
 	s.rep.ProfitTime = s.areaProfit
+	if s.cfg.Workload != nil {
+		s.rep.Cohorts = make([]CohortReport, len(s.cohorts))
+		for i, co := range s.cohorts {
+			s.rep.Cohorts[i] = CohortReport{
+				Name: co.name, PoolSize: co.pool,
+				Arrivals: co.arrivals, Departures: co.departures, Saturated: co.saturated,
+				EdgeServed: co.edgeServed, CloudServed: co.cloudServed,
+			}
+		}
+	}
 	if err := s.state.CheckInvariants(); err != nil {
 		return Report{}, fmt.Errorf("online: ledger corrupted: %w", err)
 	}
 	return s.rep, nil
 }
 
-func (s *session) nextArrival() float64 {
-	return s.src.ExpFloat64() / s.cfg.ArrivalRate
-}
-
-func (s *session) nextHold() float64 {
-	return s.src.ExpFloat64() * s.cfg.MeanHoldS
+// scheduleNextArrival asks the cohort's process for its next arrival
+// time and schedules it; an exhausted process (trace replay past its
+// last event) schedules nothing and the cohort goes quiet.
+func (s *session) scheduleNextArrival(co *cohortRun) {
+	t := co.proc.Next(s.engine.Now(), co.src)
+	if math.IsInf(t, 1) {
+		return
+	}
+	s.engine.ScheduleAt(t, func() { s.arrival(co) })
 }
 
 // integrateTo advances the time integrals to time t.
@@ -267,33 +512,32 @@ func (s *session) integrateTo(t float64) {
 	s.lastT = t
 }
 
-// arrival activates an inactive UE profile and queues it for the next
-// epoch.
-func (s *session) arrival() {
+// arrival activates an inactive UE profile of the cohort and queues it
+// for the next epoch.
+func (s *session) arrival(co *cohortRun) {
 	if s.engine.Now() >= s.cfg.DurationS {
+		// An arrival at exactly the horizon is not admitted: no service
+		// time remains (see the package comment).
 		return
 	}
 	s.integrateTo(s.engine.Now())
-	if len(s.inactive) == 0 {
+	hint := co.nextDemand()
+	if len(co.inactive) == 0 {
 		s.rep.Saturated++
+		co.saturated++
+		co.counters.saturated.Inc()
 	} else {
-		// Pick a random inactive profile so the active population keeps
-		// the scenario's spatial/service mix.
-		k := s.src.Intn(len(s.inactive))
-		u := s.inactive[k]
-		s.inactive[k] = s.inactive[len(s.inactive)-1]
-		s.inactive = s.inactive[:len(s.inactive)-1]
+		u := co.take(s.net, hint)
 		s.waiting = append(s.waiting, u)
 		s.rep.Arrivals++
+		co.arrivals++
+		co.counters.arrivals.Inc()
 	}
-	s.engine.Schedule(s.nextArrival(), s.arrival)
+	s.scheduleNextArrival(co)
 }
 
 // epoch re-runs the matching policy over the waiting UEs.
 func (s *session) epoch() {
-	if s.engine.Now() > s.cfg.DurationS {
-		return
-	}
 	s.integrateTo(s.engine.Now())
 	s.rep.Epochs++
 
@@ -322,21 +566,27 @@ func (s *session) epoch() {
 }
 
 // match runs the allocator restricted to the waiting UEs against the
-// current residual capacities, then commits its grants.
+// current residual capacities, then commits its grants. A session
+// lifetime is drawn only after placement succeeds (edge admission or
+// cloud fallback): a UE that loses the admission race consumes no
+// randomness, so every cohort's draw stream is independent of internal
+// race outcomes.
 func (s *session) match() {
 	s.rep.ReassignChecks += len(s.waiting)
 
 	assignment := s.matchWaiting()
 	var stillWaiting []mec.UEID
 	for _, u := range s.waiting {
+		co := s.cohorts[s.cohortOf[u]]
 		b := assignment.ServingBS[u]
-		hold := s.nextHold()
 		if b == mec.CloudBS {
 			// Cloud fallback: the task runs remotely (zero MEC profit) and
 			// departs after its holding time.
 			s.active[u] = placement{bs: mec.CloudBS}
 			s.rep.CloudServed++
-			s.scheduleDeparture(u, hold)
+			co.cloudServed++
+			co.counters.cloudServed.Inc()
+			s.scheduleDeparture(u, co.hold.Sample(co.src))
 			continue
 		}
 		if err := s.state.Assign(u, b); err != nil {
@@ -346,8 +596,10 @@ func (s *session) match() {
 		}
 		s.active[u] = placement{bs: b}
 		s.rep.EdgeServed++
+		co.edgeServed++
+		co.counters.edgeServed.Inc()
 		s.profitRate += s.marginOf(u, b)
-		s.scheduleDeparture(u, hold)
+		s.scheduleDeparture(u, co.hold.Sample(co.src))
 	}
 	s.waiting = stillWaiting
 }
@@ -389,6 +641,9 @@ func (s *session) marginOf(u mec.UEID, b mec.BSID) float64 {
 	return alloc.Margin(s.net, l)
 }
 
+// scheduleDeparture releases the UE's resources after its holding time.
+// Departures scheduled past the horizon never fire (the drive loop
+// stops at DurationS); one at exactly the horizon counts.
 func (s *session) scheduleDeparture(u mec.UEID, hold float64) {
 	s.engine.Schedule(hold, func() {
 		s.integrateTo(s.engine.Now())
@@ -401,10 +656,11 @@ func (s *session) scheduleDeparture(u mec.UEID, hold float64) {
 			s.profitRate -= s.marginOf(u, p.bs)
 			s.state.Unassign(u)
 		}
-		s.inactive = append(s.inactive, u)
-		if s.engine.Now() <= s.cfg.DurationS {
-			s.rep.Departures++
-		}
+		co := s.cohorts[s.cohortOf[u]]
+		co.inactive = append(co.inactive, u)
+		s.rep.Departures++
+		co.departures++
+		co.counters.departures.Inc()
 	})
 }
 

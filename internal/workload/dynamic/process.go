@@ -1,0 +1,285 @@
+// Package dynamic is the dynamic-traffic workload engine: pluggable
+// arrival processes (homogeneous Poisson, bursty gamma/Weibull
+// inter-arrivals, diurnal cohorts with spike/drain phases), session
+// lifetime and per-cohort demand distributions, a versioned JSON workload
+// spec with a strict Save/Load round-trip, and a CSV trace-replay mode
+// that feeds recorded (t, cohort, demand) events through the same
+// Process interface.
+//
+// internal/online consumes this package: every cohort of a dynamic
+// session owns one Process (its arrival clock), one Sampler (its session
+// lifetimes), and a slice of the scenario's UE profile pool (its demand
+// population). The paper's original Poisson/exponential driver is the
+// one-cohort special case, Default().
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"dmra/internal/rng"
+)
+
+// Process generates the arrival times of one traffic cohort.
+type Process interface {
+	// Next returns the absolute time of the first arrival strictly after
+	// now, drawing any needed randomness from src. It returns +Inf when
+	// the process is exhausted (trace replay past its last event).
+	Next(now float64, src *rng.Source) float64
+}
+
+// Poisson is the homogeneous Poisson process: memoryless exponential
+// inter-arrival times at a constant rate. It is the paper's original
+// online driver and the default process.
+type Poisson struct {
+	RateHz float64
+}
+
+// Next draws one exponential inter-arrival. The arithmetic is exactly
+// the pre-spec driver's src.ExpFloat64()/rate added to now, which keeps
+// default sessions byte-identical under existing seeds.
+func (p Poisson) Next(now float64, src *rng.Source) float64 {
+	return now + src.ExpFloat64()/p.RateHz
+}
+
+// Gamma draws gamma-distributed inter-arrivals with mean 1/RateHz and
+// coefficient of variation CV. CV > 1 gives bursty traffic (shape < 1:
+// clumps of near-simultaneous arrivals separated by long gaps), CV < 1
+// gives smoother-than-Poisson pacing, and CV = 1 degenerates to Poisson.
+type Gamma struct {
+	RateHz float64
+	CV     float64
+}
+
+// Next draws one gamma(k, theta) inter-arrival with k = 1/CV^2 and
+// theta chosen so the mean is 1/RateHz.
+func (g Gamma) Next(now float64, src *rng.Source) float64 {
+	k := 1 / (g.CV * g.CV)
+	theta := 1 / (g.RateHz * k)
+	return now + gammaSample(src, k)*theta
+}
+
+// Weibull draws Weibull-distributed inter-arrivals with mean 1/RateHz
+// and the given shape. Shape < 1 is heavy-tailed (bursty), shape > 1
+// concentrates around the mean, shape = 1 is exponential.
+type Weibull struct {
+	RateHz float64
+	Shape  float64
+}
+
+// Next draws one Weibull inter-arrival by inverse CDF: scale*(-ln U)^(1/shape),
+// with scale = 1/(rate*Gamma(1+1/shape)) so the mean is 1/RateHz.
+func (w Weibull) Next(now float64, src *rng.Source) float64 {
+	scale := 1 / (w.RateHz * math.Gamma(1+1/w.Shape))
+	u := src.Float64()
+	for u == 0 {
+		u = src.Float64()
+	}
+	return now + scale*math.Pow(-math.Log(u), 1/w.Shape)
+}
+
+// Phase is one segment of a diurnal cycle: the cohort arrives at
+// RateFactor times its base rate for DurationS seconds.
+type Phase struct {
+	DurationS  float64
+	RateFactor float64
+}
+
+// Diurnal is a non-homogeneous Poisson process whose rate follows a
+// repeating piecewise-constant profile: RateHz scaled by the current
+// phase's factor. Spike phases use factors above 1, drain phases use
+// factors near (or exactly) 0.
+type Diurnal struct {
+	RateHz float64
+	Phases []Phase
+}
+
+// Next samples the next arrival by Lewis-Shedler thinning against the
+// cycle's peak rate: candidate exponential steps at the peak rate are
+// accepted with probability rate(t)/peak.
+func (d Diurnal) Next(now float64, src *rng.Source) float64 {
+	peak := 0.0
+	for _, p := range d.Phases {
+		if f := d.RateHz * p.RateFactor; f > peak {
+			peak = f
+		}
+	}
+	if peak <= 0 {
+		return math.Inf(1)
+	}
+	t := now
+	for {
+		t += src.ExpFloat64() / peak
+		if src.Float64()*peak < d.rateAt(t) {
+			return t
+		}
+	}
+}
+
+// rateAt returns the instantaneous arrival rate at absolute time t.
+func (d Diurnal) rateAt(t float64) float64 {
+	cycle := 0.0
+	for _, p := range d.Phases {
+		cycle += p.DurationS
+	}
+	x := math.Mod(t, cycle)
+	for _, p := range d.Phases {
+		if x < p.DurationS {
+			return d.RateHz * p.RateFactor
+		}
+		x -= p.DurationS
+	}
+	return d.RateHz * d.Phases[len(d.Phases)-1].RateFactor
+}
+
+// Replay replays a fixed schedule of recorded arrival times (one
+// cohort's rows of a CSV trace). It draws no randomness.
+type Replay struct {
+	times []float64
+	idx   int
+}
+
+// NewReplay returns a Replay over the given non-decreasing arrival
+// times.
+func NewReplay(times []float64) *Replay {
+	return &Replay{times: times}
+}
+
+// Next returns the next recorded time, or +Inf when the trace is
+// exhausted. The cursor never skips: a recorded event at t=0 and
+// duplicate timestamps (simultaneous arrivals) all replay. A recorded
+// time earlier than now — impossible for a sorted trace consumed one
+// event at a time — is clamped to now so the caller's scheduler never
+// sees the past.
+func (r *Replay) Next(now float64, _ *rng.Source) float64 {
+	if r.idx >= len(r.times) {
+		return math.Inf(1)
+	}
+	t := r.times[r.idx]
+	r.idx++
+	return math.Max(t, now)
+}
+
+// MeanRate returns the process's long-run arrival rate in events per
+// second, for Little's-law checks and rate-sweep scaling. Replay
+// processes report the empirical rate of their recorded span.
+func MeanRate(p Process) float64 {
+	switch p := p.(type) {
+	case Poisson:
+		return p.RateHz
+	case Gamma:
+		return p.RateHz
+	case Weibull:
+		return p.RateHz
+	case Diurnal:
+		cycle, weighted := 0.0, 0.0
+		for _, ph := range p.Phases {
+			cycle += ph.DurationS
+			weighted += ph.DurationS * ph.RateFactor
+		}
+		if cycle == 0 {
+			return 0
+		}
+		return p.RateHz * weighted / cycle
+	case *Replay:
+		if len(p.times) < 2 {
+			return 0
+		}
+		span := p.times[len(p.times)-1] - p.times[0]
+		if span <= 0 {
+			return 0
+		}
+		return float64(len(p.times)-1) / span
+	default:
+		return 0
+	}
+}
+
+// gammaSample draws gamma(k, 1) by Marsaglia-Tsang squeeze for k >= 1
+// and the boost gamma(k) = gamma(k+1)*U^(1/k) for k < 1.
+func gammaSample(src *rng.Source, k float64) float64 {
+	if k < 1 {
+		u := src.Float64()
+		for u == 0 {
+			u = src.Float64()
+		}
+		return gammaSample(src, k+1) * math.Pow(u, 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := src.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := src.Float64()
+		if u == 0 {
+			continue
+		}
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 || math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Sampler draws values from a one-dimensional distribution (session
+// lifetimes, in this package's use).
+type Sampler interface {
+	Sample(src *rng.Source) float64
+}
+
+// ExpSampler draws exponential variates with the given mean. The
+// arithmetic (src.ExpFloat64()*Mean) matches the pre-spec hold draw, so
+// default sessions stay byte-identical.
+type ExpSampler struct{ Mean float64 }
+
+// Sample draws one exponential variate.
+func (e ExpSampler) Sample(src *rng.Source) float64 { return src.ExpFloat64() * e.Mean }
+
+// UniformSampler draws uniformly from [Min, Max).
+type UniformSampler struct{ Min, Max float64 }
+
+// Sample draws one uniform variate.
+func (u UniformSampler) Sample(src *rng.Source) float64 { return src.FloatBetween(u.Min, u.Max) }
+
+// ConstSampler always returns Value, drawing one uniform variate so the
+// stream advances identically to the stochastic samplers (swapping a
+// cohort's lifetime law never shifts sibling draws).
+type ConstSampler struct{ Value float64 }
+
+// Sample consumes one draw and returns the constant.
+func (c ConstSampler) Sample(src *rng.Source) float64 { src.Float64(); return c.Value }
+
+// LognormalSampler draws lognormal variates with the given arithmetic
+// mean and log-space standard deviation sigma (heavy-tailed lifetimes).
+type LognormalSampler struct {
+	Mean  float64
+	Sigma float64
+}
+
+// Sample draws one lognormal variate: exp(mu + sigma*Z) with mu chosen
+// so E[X] = Mean.
+func (l LognormalSampler) Sample(src *rng.Source) float64 {
+	mu := math.Log(l.Mean) - l.Sigma*l.Sigma/2
+	return math.Exp(mu + l.Sigma*src.NormFloat64())
+}
+
+// samplerMean returns a Sampler's analytic mean (for Little's-law
+// accounting and pool sizing).
+func samplerMean(s Sampler) (float64, error) {
+	switch s := s.(type) {
+	case ExpSampler:
+		return s.Mean, nil
+	case UniformSampler:
+		return (s.Min + s.Max) / 2, nil
+	case ConstSampler:
+		return s.Value, nil
+	case LognormalSampler:
+		return s.Mean, nil
+	default:
+		return 0, fmt.Errorf("dynamic: unknown sampler %T", s)
+	}
+}

@@ -1,0 +1,401 @@
+package dynamic
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// SpecVersion is the schema version this package reads and writes.
+const SpecVersion = 1
+
+// Spec is a versioned, JSON-serializable dynamic-workload description:
+// a set of traffic cohorts, each with its own arrival process, session
+// lifetime distribution, and demand distribution over the scenario's UE
+// profile pool — or a CSV trace replayed through the same machinery.
+type Spec struct {
+	// Version is the schema version; Parse rejects anything but
+	// SpecVersion.
+	Version int `json:"version"`
+	// Cohorts partitions the UE profile pool into traffic classes. At
+	// least one is required.
+	Cohorts []Cohort `json:"cohorts"`
+	// Trace, when non-empty, names a CSV file of recorded
+	// (t, cohort, demand) arrival events replayed instead of the
+	// cohorts' generative arrival processes (the cohorts still supply
+	// lifetimes, demand ranges, and pool shares). Relative paths are
+	// resolved against the spec file's directory by Load.
+	Trace string `json:"trace,omitempty"`
+}
+
+// Cohort is one traffic class of a dynamic workload.
+type Cohort struct {
+	// Name identifies the cohort in reports, traces, and obs counters.
+	Name string `json:"name"`
+	// PoolShare is this cohort's fraction of the scenario's UE profile
+	// pool. Shares must be positive and sum to 1 (±0.1%).
+	PoolShare float64 `json:"poolShare"`
+	// Arrival configures the cohort's generative arrival process. It is
+	// ignored (and may be zero) in trace-replay mode.
+	Arrival ArrivalSpec `json:"arrival"`
+	// HoldS is the session-lifetime distribution in seconds.
+	HoldS DistSpec `json:"holdS"`
+	// CRUDemandMin/Max, when both non-zero, override the scenario's
+	// per-UE CRU demand range for this cohort's profile slice.
+	CRUDemandMin int `json:"cruDemandMin,omitempty"`
+	CRUDemandMax int `json:"cruDemandMax,omitempty"`
+	// RateMinBps/Max, when both non-zero, override the scenario's w_u
+	// uplink-rate demand range for this cohort's profile slice.
+	RateMinBps float64 `json:"rateMinBps,omitempty"`
+	RateMaxBps float64 `json:"rateMaxBps,omitempty"`
+}
+
+// Supported arrival process names.
+const (
+	ProcessPoisson = "poisson"
+	ProcessGamma   = "gamma"
+	ProcessWeibull = "weibull"
+	ProcessDiurnal = "diurnal"
+)
+
+// ArrivalSpec configures one cohort's arrival process.
+type ArrivalSpec struct {
+	// Process is one of poisson, gamma, weibull, diurnal.
+	Process string `json:"process"`
+	// RateHz is the mean arrival rate in UEs per second (for diurnal,
+	// the base rate the phase factors scale).
+	RateHz float64 `json:"rateHz"`
+	// CV is gamma's coefficient of variation (CV > 1: bursty).
+	CV float64 `json:"cv,omitempty"`
+	// Shape is weibull's shape parameter (shape < 1: heavy-tailed).
+	Shape float64 `json:"shape,omitempty"`
+	// Phases is diurnal's repeating cycle of rate factors.
+	Phases []PhaseSpec `json:"phases,omitempty"`
+}
+
+// PhaseSpec is one diurnal phase: RateFactor x the base rate for
+// DurationS seconds. Factors above 1 are spikes; factor 0 is a drain.
+type PhaseSpec struct {
+	DurationS  float64 `json:"durationS"`
+	RateFactor float64 `json:"rateFactor"`
+}
+
+// Supported lifetime distribution names.
+const (
+	DistExponential = "exponential"
+	DistUniform     = "uniform"
+	DistConstant    = "constant"
+	DistLognormal   = "lognormal"
+)
+
+// DistSpec configures a scalar distribution (session lifetimes).
+type DistSpec struct {
+	// Dist is one of exponential, uniform, constant, lognormal.
+	Dist string `json:"dist"`
+	// Mean parameterizes exponential and lognormal.
+	Mean float64 `json:"mean,omitempty"`
+	// Min/Max bound uniform.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+	// Sigma is lognormal's log-space standard deviation.
+	Sigma float64 `json:"sigma,omitempty"`
+	// Value is constant's value.
+	Value float64 `json:"value,omitempty"`
+}
+
+// Default returns the spec equivalent of the paper's original online
+// driver: one cohort owning the whole profile pool, Poisson arrivals at
+// rateHz, exponential lifetimes with mean meanHoldS.
+func Default(rateHz, meanHoldS float64) Spec {
+	return Spec{
+		Version: SpecVersion,
+		Cohorts: []Cohort{{
+			Name:      "default",
+			PoolShare: 1,
+			Arrival:   ArrivalSpec{Process: ProcessPoisson, RateHz: rateHz},
+			HoldS:     DistSpec{Dist: DistExponential, Mean: meanHoldS},
+		}},
+	}
+}
+
+// Validate reports the first invalid field.
+func (s Spec) Validate() error {
+	if s.Version != SpecVersion {
+		return fmt.Errorf("dynamic: spec version %d, want %d", s.Version, SpecVersion)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("dynamic: spec has no cohorts")
+	}
+	seen := make(map[string]bool, len(s.Cohorts))
+	shares := 0.0
+	for i, c := range s.Cohorts {
+		if c.Name == "" {
+			return fmt.Errorf("dynamic: cohort %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("dynamic: duplicate cohort name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.PoolShare <= 0 || c.PoolShare > 1 {
+			return fmt.Errorf("dynamic: cohort %q pool share %g, want in (0,1]", c.Name, c.PoolShare)
+		}
+		shares += c.PoolShare
+		if s.Trace == "" {
+			if err := c.Arrival.validate(); err != nil {
+				return fmt.Errorf("dynamic: cohort %q: %w", c.Name, err)
+			}
+		}
+		if err := c.HoldS.validate(); err != nil {
+			return fmt.Errorf("dynamic: cohort %q hold: %w", c.Name, err)
+		}
+		if err := c.validateDemand(); err != nil {
+			return fmt.Errorf("dynamic: cohort %q: %w", c.Name, err)
+		}
+	}
+	if math.Abs(shares-1) > 1e-3 {
+		return fmt.Errorf("dynamic: cohort pool shares sum to %g, want 1", shares)
+	}
+	return nil
+}
+
+func (c Cohort) validateDemand() error {
+	switch {
+	case c.CRUDemandMin < 0 || c.CRUDemandMax < 0:
+		return fmt.Errorf("CRU demand range [%d,%d] negative", c.CRUDemandMin, c.CRUDemandMax)
+	case (c.CRUDemandMin == 0) != (c.CRUDemandMax == 0):
+		return fmt.Errorf("CRU demand range [%d,%d] half-set (set both or neither)", c.CRUDemandMin, c.CRUDemandMax)
+	case c.CRUDemandMax != 0 && c.CRUDemandMax < c.CRUDemandMin:
+		return fmt.Errorf("CRU demand range [%d,%d] inverted", c.CRUDemandMin, c.CRUDemandMax)
+	case c.RateMinBps < 0 || c.RateMaxBps < 0:
+		return fmt.Errorf("rate demand range [%g,%g] negative", c.RateMinBps, c.RateMaxBps)
+	case (c.RateMinBps == 0) != (c.RateMaxBps == 0):
+		return fmt.Errorf("rate demand range [%g,%g] half-set (set both or neither)", c.RateMinBps, c.RateMaxBps)
+	case c.RateMaxBps != 0 && c.RateMaxBps < c.RateMinBps:
+		return fmt.Errorf("rate demand range [%g,%g] inverted", c.RateMinBps, c.RateMaxBps)
+	}
+	return nil
+}
+
+func (a ArrivalSpec) validate() error {
+	if a.RateHz <= 0 {
+		return fmt.Errorf("arrival rate %g, want positive", a.RateHz)
+	}
+	switch a.Process {
+	case ProcessPoisson:
+	case ProcessGamma:
+		if a.CV <= 0 {
+			return fmt.Errorf("gamma arrival needs cv > 0, got %g", a.CV)
+		}
+	case ProcessWeibull:
+		if a.Shape <= 0 {
+			return fmt.Errorf("weibull arrival needs shape > 0, got %g", a.Shape)
+		}
+	case ProcessDiurnal:
+		if len(a.Phases) == 0 {
+			return fmt.Errorf("diurnal arrival needs at least one phase")
+		}
+		peak := 0.0
+		for i, p := range a.Phases {
+			if p.DurationS <= 0 {
+				return fmt.Errorf("diurnal phase %d duration %g, want positive", i, p.DurationS)
+			}
+			if p.RateFactor < 0 {
+				return fmt.Errorf("diurnal phase %d rate factor %g, want non-negative", i, p.RateFactor)
+			}
+			if p.RateFactor > peak {
+				peak = p.RateFactor
+			}
+		}
+		if peak == 0 {
+			return fmt.Errorf("diurnal arrival has no phase with a positive rate factor")
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q", a.Process)
+	}
+	return nil
+}
+
+func (d DistSpec) validate() error {
+	switch d.Dist {
+	case DistExponential:
+		if d.Mean <= 0 {
+			return fmt.Errorf("exponential needs mean > 0, got %g", d.Mean)
+		}
+	case DistUniform:
+		if d.Min < 0 || d.Max <= d.Min {
+			return fmt.Errorf("uniform range [%g,%g) invalid", d.Min, d.Max)
+		}
+	case DistConstant:
+		if d.Value <= 0 {
+			return fmt.Errorf("constant needs value > 0, got %g", d.Value)
+		}
+	case DistLognormal:
+		if d.Mean <= 0 || d.Sigma <= 0 {
+			return fmt.Errorf("lognormal needs mean > 0 and sigma > 0, got mean %g sigma %g", d.Mean, d.Sigma)
+		}
+	default:
+		return fmt.Errorf("unknown distribution %q", d.Dist)
+	}
+	return nil
+}
+
+// NewProcess instantiates the cohort's arrival process. The spec must
+// have validated.
+func (a ArrivalSpec) NewProcess() (Process, error) {
+	switch a.Process {
+	case ProcessPoisson:
+		return Poisson{RateHz: a.RateHz}, nil
+	case ProcessGamma:
+		return Gamma{RateHz: a.RateHz, CV: a.CV}, nil
+	case ProcessWeibull:
+		return Weibull{RateHz: a.RateHz, Shape: a.Shape}, nil
+	case ProcessDiurnal:
+		phases := make([]Phase, len(a.Phases))
+		for i, p := range a.Phases {
+			phases[i] = Phase{DurationS: p.DurationS, RateFactor: p.RateFactor}
+		}
+		return Diurnal{RateHz: a.RateHz, Phases: phases}, nil
+	default:
+		return nil, fmt.Errorf("dynamic: unknown arrival process %q", a.Process)
+	}
+}
+
+// NewSampler instantiates the distribution.
+func (d DistSpec) NewSampler() (Sampler, error) {
+	switch d.Dist {
+	case DistExponential:
+		return ExpSampler{Mean: d.Mean}, nil
+	case DistUniform:
+		return UniformSampler{Min: d.Min, Max: d.Max}, nil
+	case DistConstant:
+		return ConstSampler{Value: d.Value}, nil
+	case DistLognormal:
+		return LognormalSampler{Mean: d.Mean, Sigma: d.Sigma}, nil
+	default:
+		return nil, fmt.Errorf("dynamic: unknown distribution %q", d.Dist)
+	}
+}
+
+// Mean64 returns the distribution's analytic mean.
+func (d DistSpec) Mean64() (float64, error) {
+	s, err := d.NewSampler()
+	if err != nil {
+		return 0, err
+	}
+	return samplerMean(s)
+}
+
+// AggregateRateHz returns the spec's total long-run arrival rate across
+// cohorts (the generative processes' mean rates; 0 for trace replay,
+// whose rate is the trace's own).
+func (s Spec) AggregateRateHz() float64 {
+	if s.Trace != "" {
+		return 0
+	}
+	total := 0.0
+	for _, c := range s.Cohorts {
+		p, err := c.Arrival.NewProcess()
+		if err != nil {
+			continue
+		}
+		total += MeanRate(p)
+	}
+	return total
+}
+
+// OfferedLoad returns the spec's steady-state offered load in concurrent
+// sessions — Little's law summed per cohort: Σ rate_i x mean-hold_i.
+// It fails on trace-replay specs, whose load is fixed by the recording,
+// and on invalid cohorts.
+func (s Spec) OfferedLoad() (float64, error) {
+	if s.Trace != "" {
+		return 0, fmt.Errorf("dynamic: trace-replay specs have no intrinsic offered load")
+	}
+	total := 0.0
+	for _, c := range s.Cohorts {
+		p, err := c.Arrival.NewProcess()
+		if err != nil {
+			return 0, err
+		}
+		m, err := c.HoldS.Mean64()
+		if err != nil {
+			return 0, err
+		}
+		total += MeanRate(p) * m
+	}
+	return total, nil
+}
+
+// ScaleRate returns a copy of the spec with every cohort's arrival rate
+// scaled so the aggregate long-run rate equals totalHz, preserving the
+// cohorts' relative shares and burst shapes. It fails on trace-replay
+// specs, whose rate is fixed by the recording.
+func (s Spec) ScaleRate(totalHz float64) (Spec, error) {
+	if s.Trace != "" {
+		return Spec{}, fmt.Errorf("dynamic: cannot scale a trace-replay spec (the trace fixes the rate)")
+	}
+	cur := s.AggregateRateHz()
+	if cur <= 0 {
+		return Spec{}, fmt.Errorf("dynamic: aggregate rate %g, cannot scale", cur)
+	}
+	if totalHz <= 0 {
+		return Spec{}, fmt.Errorf("dynamic: target rate %g, want positive", totalHz)
+	}
+	out := s
+	out.Cohorts = append([]Cohort(nil), s.Cohorts...)
+	f := totalHz / cur
+	for i := range out.Cohorts {
+		out.Cohorts[i].Arrival.RateHz *= f
+	}
+	return out, nil
+}
+
+// Parse decodes a spec from JSON. Unknown fields are rejected, so a
+// typo'd key fails loudly instead of silently falling back to defaults.
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("dynamic: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and validates a spec file written by Save. A relative
+// Trace path is resolved against the spec file's directory.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("dynamic: read spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("dynamic: %s: %w", path, err)
+	}
+	if s.Trace != "" && !filepath.IsAbs(s.Trace) {
+		s.Trace = filepath.Join(filepath.Dir(path), s.Trace)
+	}
+	return s, nil
+}
+
+// Save writes the spec as indented JSON.
+func (s Spec) Save(path string) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dynamic: marshal spec: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("dynamic: write spec: %w", err)
+	}
+	return nil
+}

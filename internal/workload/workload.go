@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -207,11 +208,56 @@ func (c Config) Validate() error {
 	return c.Pricing.Validate()
 }
 
+// DemandRange overrides the demand-draw ranges for one contiguous slice
+// of the UE profile population — the per-cohort demand distributions of
+// a dynamic workload. Zero-valued bounds keep the scenario's own range,
+// so a cohort can override CRU demand, rate demand, both, or neither.
+type DemandRange struct {
+	// Start and Count delimit the UE IDs [Start, Start+Count) covered.
+	Start, Count int
+	// CRUDemandMin/Max, when non-zero, replace Config.CRUDemandMin/Max.
+	CRUDemandMin, CRUDemandMax int
+	// RateMinBps/Max, when non-zero, replace Config.RateMinBps/Max.
+	RateMinBps, RateMaxBps float64
+}
+
+// validateDemandRanges rejects overlapping, out-of-bounds, or inverted
+// override ranges.
+func (c Config) validateDemandRanges(ranges []DemandRange) error {
+	next := 0
+	for i, r := range ranges {
+		switch {
+		case r.Start < next || r.Count <= 0 || r.Start+r.Count > c.UEs:
+			return fmt.Errorf("workload: demand range %d [%d,%d) invalid over %d UEs (ranges must be sorted and disjoint)",
+				i, r.Start, r.Start+r.Count, c.UEs)
+		case (r.CRUDemandMin == 0) != (r.CRUDemandMax == 0) || r.CRUDemandMin < 0 || (r.CRUDemandMax != 0 && r.CRUDemandMax < r.CRUDemandMin):
+			return fmt.Errorf("workload: demand range %d CRU bounds [%d,%d] invalid", i, r.CRUDemandMin, r.CRUDemandMax)
+		case (r.RateMinBps == 0) != (r.RateMaxBps == 0) || r.RateMinBps < 0 || (r.RateMaxBps != 0 && r.RateMaxBps < r.RateMinBps):
+			return fmt.Errorf("workload: demand range %d rate bounds [%g,%g] invalid", i, r.RateMinBps, r.RateMaxBps)
+		}
+		next = r.Start + r.Count
+	}
+	return nil
+}
+
 // Build generates the scenario deterministically from seed. Independent
 // labeled RNG streams drive placement, capacities, and UE demands, so e.g.
 // changing the UE count leaves BS placement untouched for the same seed.
 func (c Config) Build(seed uint64) (*mec.Network, error) {
+	return c.BuildWithDemand(seed, nil)
+}
+
+// BuildWithDemand is Build with per-range demand overrides: UEs inside
+// an override range draw their CRU/rate demands from the range's bounds
+// instead of the scenario's. Every draw consumes exactly as much
+// randomness as the unoverridden build, so positions, services, and the
+// demands of uncovered UEs are identical to Build under the same seed.
+// Ranges must be sorted by Start and disjoint.
+func (c Config) BuildWithDemand(seed uint64, ranges []DemandRange) (*mec.Network, error) {
 	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.validateDemandRanges(ranges); err != nil {
 		return nil, err
 	}
 	root := rng.New(seed)
@@ -236,7 +282,7 @@ func (c Config) Build(seed uint64) (*mec.Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	ues := c.buildUEs(root, area)
+	ues := c.buildUEs(root, area, ranges)
 
 	return mec.NewNetwork(sps, bss, ues, c.Services, c.Radio, c.Pricing)
 }
@@ -291,7 +337,7 @@ func (c Config) ownerOf(i int) mec.SPID {
 	return mec.SPID(i % c.SPs)
 }
 
-func (c Config) buildUEs(root *rng.Source, area geo.Rect) []mec.UE {
+func (c Config) buildUEs(root *rng.Source, area geo.Rect, ranges []DemandRange) []mec.UE {
 	posSrc := root.SplitLabeled("ue-placement")
 	demSrc := root.SplitLabeled("ue-demand")
 	var centres []geo.Point
@@ -300,7 +346,21 @@ func (c Config) buildUEs(root *rng.Source, area geo.Rect) []mec.UE {
 	}
 	ues := make([]mec.UE, c.UEs)
 	zipf := newZipf(c.Services, c.ZipfS)
+	ri := 0 // next candidate override range (sorted, disjoint)
 	for u := range ues {
+		cruMin, cruMax := c.CRUDemandMin, c.CRUDemandMax
+		rateMin, rateMax := c.RateMinBps, c.RateMaxBps
+		for ri < len(ranges) && u >= ranges[ri].Start+ranges[ri].Count {
+			ri++
+		}
+		if ri < len(ranges) && u >= ranges[ri].Start {
+			if r := ranges[ri]; r.CRUDemandMax != 0 {
+				cruMin, cruMax = r.CRUDemandMin, r.CRUDemandMax
+			}
+			if r := ranges[ri]; r.RateMaxBps != 0 {
+				rateMin, rateMax = r.RateMinBps, r.RateMaxBps
+			}
+		}
 		var svc int
 		switch c.ServiceDist {
 		case ServiceZipf:
@@ -313,8 +373,8 @@ func (c Config) buildUEs(root *rng.Source, area geo.Rect) []mec.UE {
 			SP:        mec.SPID(demSrc.Intn(c.SPs)),
 			Pos:       c.uePosition(posSrc, area, centres),
 			Service:   mec.ServiceID(svc),
-			CRUDemand: demSrc.IntBetween(c.CRUDemandMin, c.CRUDemandMax),
-			RateBps:   demSrc.FloatBetween(c.RateMinBps, c.RateMaxBps),
+			CRUDemand: demSrc.IntBetween(cruMin, cruMax),
+			RateBps:   demSrc.FloatBetween(rateMin, rateMax),
 		}
 	}
 	return ues
@@ -400,15 +460,20 @@ func Save(c Config, path string) error {
 	return nil
 }
 
-// Load reads a configuration written by Save and validates it.
+// Load reads a configuration written by Save and validates it. Unknown
+// fields are rejected: a typo'd key (e.g. "bsPerSP" for "bssPerSP")
+// fails loudly instead of being silently ignored while the zero value
+// or default wins.
 func Load(path string) (Config, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Config{}, fmt.Errorf("workload: read config: %w", err)
 	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
 	var c Config
-	if err := json.Unmarshal(data, &c); err != nil {
-		return Config{}, fmt.Errorf("workload: parse config: %w", err)
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("workload: parse config %s: %w", path, err)
 	}
 	if err := c.Validate(); err != nil {
 		return Config{}, err

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -489,6 +490,102 @@ func TestHexPlacementScenario(t *testing.T) {
 	for sp, n := range perSP {
 		if n != 5 {
 			t.Errorf("SP %d owns %d sites, want 5", sp, n)
+		}
+	}
+}
+
+// TestLoadRejectsUnknownFields is the strict-decoding regression test:
+// a typo'd key must fail the load, not silently leave the default in
+// place (Load previously used plain json.Unmarshal, which ignores
+// unknown keys).
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := Save(Default(), path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Misspell "bssPerSP" the way a hand-edit plausibly would.
+	bad := strings.Replace(string(data), `"bssPerSP"`, `"bsPerSP"`, 1)
+	if bad == string(data) {
+		t.Fatal("fixture key not found")
+	}
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal(`Load accepted misspelled key "bsPerSP"`)
+	} else if !strings.Contains(err.Error(), "bsPerSP") {
+		t.Errorf("error %q does not name the offending key", err)
+	}
+}
+
+func TestBuildWithDemandOverrides(t *testing.T) {
+	cfg := Default()
+	cfg.UEs = 100
+	ranges := []DemandRange{
+		{Start: 20, Count: 30, CRUDemandMin: 9, CRUDemandMax: 9},
+		{Start: 70, Count: 10, RateMinBps: 5e6, RateMaxBps: 5e6},
+	}
+	base, err := cfg.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := cfg.BuildWithDemand(1, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, ue := range net.UEs {
+		switch {
+		case u >= 20 && u < 50:
+			if ue.CRUDemand != 9 {
+				t.Errorf("UE %d CRUDemand = %d, want overridden 9", u, ue.CRUDemand)
+			}
+			// Rate bounds untouched by a CRU-only override.
+			if ue.RateBps != base.UEs[u].RateBps {
+				t.Errorf("UE %d rate changed under a CRU-only override", u)
+			}
+		case u >= 70 && u < 80:
+			if ue.RateBps != 5e6 {
+				t.Errorf("UE %d RateBps = %g, want overridden 5e6", u, ue.RateBps)
+			}
+			if ue.CRUDemand != base.UEs[u].CRUDemand {
+				t.Errorf("UE %d CRU demand changed under a rate-only override", u)
+			}
+		default:
+			// Uncovered UEs must be byte-identical to the plain build:
+			// overrides consume the same randomness as the defaults.
+			if ue != base.UEs[u] {
+				t.Errorf("UE %d outside every override differs from Build:\n got %+v\nwant %+v", u, ue, base.UEs[u])
+			}
+		}
+		// Overrides never perturb position or service draws.
+		if ue.Pos != base.UEs[u].Pos || ue.Service != base.UEs[u].Service || ue.SP != base.UEs[u].SP {
+			t.Errorf("UE %d placement/service drifted under overrides", u)
+		}
+	}
+}
+
+func TestBuildWithDemandRejections(t *testing.T) {
+	cfg := Default()
+	cfg.UEs = 100
+	for name, ranges := range map[string][]DemandRange{
+		"out of bounds": {{Start: 90, Count: 20, CRUDemandMin: 1, CRUDemandMax: 2}},
+		"overlapping": {
+			{Start: 0, Count: 50, CRUDemandMin: 1, CRUDemandMax: 2},
+			{Start: 40, Count: 20, CRUDemandMin: 1, CRUDemandMax: 2}},
+		"unsorted": {
+			{Start: 50, Count: 10, CRUDemandMin: 1, CRUDemandMax: 2},
+			{Start: 0, Count: 10, CRUDemandMin: 1, CRUDemandMax: 2}},
+		"empty":         {{Start: 0, Count: 0, CRUDemandMin: 1, CRUDemandMax: 2}},
+		"inverted CRU":  {{Start: 0, Count: 10, CRUDemandMin: 5, CRUDemandMax: 2}},
+		"half-set CRU":  {{Start: 0, Count: 10, CRUDemandMax: 5}},
+		"half-set rate": {{Start: 0, Count: 10, RateMinBps: 1e6}},
+	} {
+		if _, err := cfg.BuildWithDemand(1, ranges); err == nil {
+			t.Errorf("%s ranges accepted", name)
 		}
 	}
 }

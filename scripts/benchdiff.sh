@@ -2,9 +2,10 @@
 # Compare the last two BENCH_exp.json records per benchmark and fail on
 # a ns/op regression beyond the threshold. Run `make bench` before and
 # after a change to append the two records this script diffs. With no
-# benchmark argument, both hot-path gates run: the batch solver
-# (BenchmarkAllocate), the dynamic session (BenchmarkSession), and the
-# TCP cluster (BenchmarkCluster).
+# benchmark argument, every hot-path gate runs: the batch solver
+# (BenchmarkAllocate), the dynamic session (BenchmarkSession), the
+# spec-driven workload engine (BenchmarkDynamicSession, per arrival
+# process), and the TCP cluster (BenchmarkCluster).
 #
 # Usage:
 #   scripts/benchdiff.sh                           both default gates, +20% budget
@@ -18,7 +19,7 @@ max_regress=${2:-0.20}
 if [ $# -ge 1 ]; then
 	exec go run ./cmd/benchdiff -file BENCH_exp.json -bench "$1" -max-regress "$max_regress"
 fi
-for bench in BenchmarkAllocate BenchmarkSession; do
+for bench in BenchmarkAllocate BenchmarkSession BenchmarkDynamicSession; do
 	go run ./cmd/benchdiff -file BENCH_exp.json -bench "$bench" -max-regress "$max_regress"
 done
 # The cluster gate gets a wider budget: its runs open hundreds of loopback

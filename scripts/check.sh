@@ -13,6 +13,7 @@
 #   scripts/check.sh engine-guard      only the single-round-engine grep guard
 #   scripts/check.sh wire-guard        only the wire deadline grep guard
 #   scripts/check.sh wire-shards       only the race-enabled wire suite at several shard counts
+#   scripts/check.sh workload-specs    only the example-spec validation + online spec smoke
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -67,6 +68,25 @@ bench_smoke() {
 	echo "bench smoke: BenchmarkAllocate, BenchmarkNewNetwork, and BenchmarkCluster ran clean"
 }
 
+workload_specs() {
+	# Every checked-in example workload spec must load (strict parse +
+	# validation) and drive a short online session end to end. The smoke
+	# runs race-enabled: cohort bookkeeping and the per-epoch matcher share
+	# the session, so a data race here is a correctness bug, not noise.
+	for spec in examples/specs/*.json; do
+		case "$spec" in
+		*trace-replay.json)
+			# Trace specs have no intrinsic offered load: pool is explicit.
+			go run -race ./cmd/dmra-online -spec "$spec" -duration 30 -pool 200 > /dev/null
+			;;
+		*)
+			go run -race ./cmd/dmra-online -spec "$spec" -duration 30 > /dev/null
+			;;
+		esac
+		echo "workload specs: $spec drove a 30 s session clean"
+	done
+}
+
 obs_determinism() {
 	# Run one figure twice — plain, and with the full observability stack
 	# (ephemeral debug server + JSONL trace + instrumented grid) — and
@@ -103,6 +123,10 @@ wire-shards)
 	wire_shards
 	exit 0
 	;;
+workload-specs)
+	workload_specs
+	exit 0
+	;;
 esac
 
 go vet ./...
@@ -113,6 +137,7 @@ go test -race ./internal/engine/
 go test -race ./...
 wire_shards
 bench_smoke
+workload_specs
 obs_determinism
 engine_guard
 wire_guard
