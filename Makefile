@@ -31,6 +31,7 @@ bench:
 	$(GO) test ./internal/alloc/ -bench 'BenchmarkAllocate$$|BenchmarkAllocateNaive$$' -benchmem -run '^$$'
 	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$' -benchmem -run '^$$'
 	$(GO) test ./internal/online/ -bench 'BenchmarkSession$$|BenchmarkDynamicSession$$' -benchmem -run '^$$'
+	$(GO) test ./internal/replay/ -bench 'BenchmarkReplay$$' -benchmem -run '^$$'
 	$(MAKE) bench-baseline
 	# The cluster benchmark table runs after the baseline append: its
 	# loopback socket churn leaves TIME_WAIT entries that would inflate
@@ -45,4 +46,5 @@ bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/workload/ -run TestWriteNetworkBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteSessionBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteDynamicSessionBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/replay/ -run TestWriteReplayBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/wire/ -run TestWriteClusterBenchBaseline -v

@@ -19,6 +19,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -51,6 +53,8 @@ func run(args []string) error {
 		series    = fs.Bool("series", false, "chart profit rate and occupancy over time")
 		replicate = fs.Int("replicate", 1, "independent sessions to aggregate (seeds seed..seed+N-1)")
 		procs     = fs.Int("procs", 0, "worker goroutines for replication (0 = GOMAXPROCS, 1 = sequential)")
+		timeline  = fs.String("timeline", "", "write periodic timeline samples to this JSONL file (dmra-debug timeline reads it)")
+		tlEvery   = fs.Float64("timeline-every", 0, "timeline sampling period in seconds (0 = one sample per epoch)")
 	)
 	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -80,17 +84,52 @@ func run(args []string) error {
 	if cfg.Scenario.UEs, err = poolSize(cfg, *pool, *rate, *hold); err != nil {
 		return err
 	}
+	scenarioJSON, err := json.Marshal(cfg.Scenario)
+	if err != nil {
+		return err
+	}
+	if err := obsRT.WriteManifest(dmra.ObsManifest{
+		Tool:      "dmra-online",
+		Algorithm: cfg.Algorithm,
+		Seed:      cfg.Seed,
+		Rho:       cfg.DMRA.Rho,
+		Scenario:  scenarioJSON,
+	}); err != nil {
+		return err
+	}
 
 	if *replicate > 1 {
+		if *timeline != "" {
+			return fmt.Errorf("-timeline records one session; it cannot be combined with -replicate")
+		}
 		if err := runReplicated(cfg, *replicate, *procs, obsRT.Rec); err != nil {
 			return err
 		}
 		return obsRT.Close()
 	}
 
+	var tlBuf *bufio.Writer
+	var tlFile *os.File
+	if *timeline != "" {
+		if tlFile, err = os.Create(*timeline); err != nil {
+			return err
+		}
+		tlBuf = bufio.NewWriter(tlFile)
+		cfg.Timeline = tlBuf
+		cfg.TimelineEveryS = *tlEvery
+	}
+
 	rep, err := dmra.RunOnline(cfg)
+	if tlFile != nil {
+		if ferr := flushTimeline(tlBuf, tlFile); err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		return err
+	}
+	if *timeline != "" {
+		fmt.Printf("timeline: wrote %s\n", *timeline)
 	}
 
 	if cfg.Workload != nil {
@@ -147,6 +186,19 @@ func run(args []string) error {
 		}
 	}
 	return obsRT.Close()
+}
+
+// flushTimeline flushes and closes the timeline file, reporting the
+// first failure — samples must reach disk before the run claims success.
+func flushTimeline(buf *bufio.Writer, f *os.File) error {
+	ferr := buf.Flush()
+	if cerr := f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	if ferr != nil {
+		return fmt.Errorf("timeline: %w", ferr)
+	}
+	return nil
 }
 
 // maxAutoPool bounds the auto-sized profile pool. Each profile costs

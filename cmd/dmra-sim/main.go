@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -78,6 +79,24 @@ func run(args []string) error {
 
 	net, err := dmra.BuildNetwork(scenario, *seed)
 	if err != nil {
+		return err
+	}
+	// Stamp the run identity as the trace's first line so dmra-debug can
+	// rebuild the exact network and refuse to diff incomparable runs. The
+	// runtime goes in Tool (hash-excluded): alloc, protocol and wire
+	// traces of the same scenario are parity-comparable by design.
+	scenarioJSON, err := json.Marshal(scenario)
+	if err != nil {
+		return err
+	}
+	if err := obsRT.WriteManifest(dmra.ObsManifest{
+		Tool:      "dmra-sim/" + runtimeName(*decentralized, *tcp),
+		Algorithm: *algo,
+		Seed:      *seed,
+		Rho:       *rho,
+		Shards:    shardsOf(*tcp, *shards),
+		Scenario:  scenarioJSON,
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("scenario: %s placement, iota=%g, seed=%d\n",
@@ -185,4 +204,25 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// runtimeName labels the runtime flavor for the manifest's Tool field.
+func runtimeName(decentralized, tcp bool) string {
+	switch {
+	case tcp:
+		return "wire"
+	case decentralized:
+		return "protocol"
+	default:
+		return "alloc"
+	}
+}
+
+// shardsOf reports the effective manifest shard count (0 off the wire
+// runtime, where sharding does not apply).
+func shardsOf(tcp bool, shards int) int {
+	if !tcp {
+		return 0
+	}
+	return shards
 }

@@ -379,6 +379,12 @@ type ObsSink = obs.Sink
 // disables every instrumentation site at the cost of one pointer test.
 type ObsRecorder = obs.Recorder
 
+// ObsManifest is the run-identity header stamped as a trace's first
+// line: schema version, config hash, seed, algorithm and the raw
+// scenario JSON. dmra-debug rebuilds networks from it and refuses to
+// diff traces whose manifests disagree.
+type ObsManifest = obs.Manifest
+
 // ObsEvent is one typed convergence event (see obs.EventKind for the
 // vocabulary shared by the synchronous solver, the message protocol and
 // the TCP cluster).

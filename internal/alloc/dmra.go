@@ -30,8 +30,9 @@ func DefaultDMRAConfig() DMRAConfig {
 // between UE/BS actors and internal/wire runs them over TCP; the three are
 // integration-tested to produce identical assignments.
 type DMRA struct {
-	cfg DMRAConfig
-	obs *obs.Recorder
+	cfg  DMRAConfig
+	obs  *obs.Recorder
+	hook engine.RoundHook
 	// naive forces the reference implementation (full Eq. 17 sweep per
 	// proposal, fresh buffers every round); the differential fuzz target
 	// pins the fast path against it.
@@ -103,6 +104,16 @@ func (d *DMRA) WithObserver(rec *obs.Recorder) *DMRA {
 	return d
 }
 
+// WithRoundHook attaches a per-round state-export hook and returns the
+// allocator for chaining. The hook fires once per round — after the
+// select phase, and once more for the final round in which no UE
+// proposed — with the full matching state at that barrier. The snapshot
+// is reused across calls; Clone to retain. Nil (the default) is free.
+func (d *DMRA) WithRoundHook(h engine.RoundHook) *DMRA {
+	d.hook = h
+	return d
+}
+
 // Name implements Allocator.
 func (d *DMRA) Name() string { return "DMRA" }
 
@@ -157,6 +168,10 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 		}
 	}
 
+	var snap *engine.Snapshot
+	if d.hook != nil {
+		snap = engine.NewSnapshot(net)
+	}
 	var stats Stats
 	maxRounds := engine.RoundBound(net)
 	for {
@@ -209,6 +224,10 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 			}
 		}
 		if !anyRequest {
+			if d.hook != nil {
+				snap.CaptureState(rs.state, stats.Iterations)
+				d.hook(snap)
+			}
 			break
 		}
 
@@ -225,6 +244,10 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 			}
 			d.applyVerdicts(mec.BSID(b), verdicts, &stats)
 			rs.inbox[b] = reqs[:0]
+		}
+		if d.hook != nil {
+			snap.CaptureState(rs.state, stats.Iterations)
+			d.hook(snap)
 		}
 		if d.obs != nil {
 			d.observeRound(net, rs.state)
@@ -288,6 +311,10 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 	// inbox[b] collects the service requests BS b received this iteration.
 	inbox := make([][]engine.Request, len(net.BSs))
 
+	var snap *engine.Snapshot
+	if d.hook != nil {
+		snap = engine.NewSnapshot(net)
+	}
 	maxRounds := engine.RoundBound(net)
 	for {
 		stats.Iterations++
@@ -334,6 +361,10 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 			}
 		}
 		if !anyRequest {
+			if d.hook != nil {
+				snap.CaptureState(state, stats.Iterations)
+				d.hook(snap)
+			}
 			break
 		}
 
@@ -350,6 +381,10 @@ func (d *DMRA) allocateNaive(net *mec.Network, res *Result) error {
 				return fmt.Errorf("alloc: DMRA admit: %w", err)
 			}
 			d.applyVerdicts(mec.BSID(b), verdicts, &stats)
+		}
+		if d.hook != nil {
+			snap.CaptureState(state, stats.Iterations)
+			d.hook(snap)
 		}
 		if d.obs != nil {
 			d.observeRound(net, state)

@@ -8,6 +8,7 @@ package cliobs
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -87,38 +88,51 @@ func (f *Flags) Start() (*Runtime, error) {
 	return rt, nil
 }
 
+// WriteManifest stamps the run-identity header as the trace's first
+// line; see obs.Sink.WriteManifest. Call it after Start and before the
+// run emits events. No-op (and nil error) on a nil or disabled Runtime.
+func (rt *Runtime) WriteManifest(m obs.Manifest) error {
+	if rt == nil || rt.Rec == nil {
+		return nil
+	}
+	return rt.sink.WriteManifest(m)
+}
+
 // Close flushes the trace file, honours -obs-hold, stops the debug
-// server, and reports the first trace-writer error if any. Safe on nil
-// and on a disabled Runtime.
+// server, and reports every shutdown error joined with errors.Join —
+// a trace-write failure is never masked by a server close failure.
+// Safe on nil and on a disabled Runtime.
 func (rt *Runtime) Close() error {
 	if rt == nil || rt.Rec == nil {
 		return nil
 	}
-	var firstErr error
+	var errs []error
 	if rt.srv != nil && rt.hold > 0 {
 		fmt.Printf("obs: holding debug server on http://%s for %s\n", rt.srv.Addr(), rt.hold)
 		time.Sleep(rt.hold)
 	}
 	if rt.srv != nil {
-		firstErr = rt.srv.Close()
+		if err := rt.srv.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs server: %w", err))
+		}
 		rt.srv = nil
 	}
 	if rt.buf != nil {
-		if err := rt.buf.Flush(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := rt.buf.Flush(); err != nil {
+			errs = append(errs, fmt.Errorf("obs trace flush: %w", err))
 		}
 		rt.buf = nil
 	}
 	if rt.file != nil {
-		if err := rt.file.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := rt.file.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("obs trace close: %w", err))
 		}
 		rt.file = nil
 		fmt.Printf("obs: wrote %d events to %s\n", rt.sink.Total(), rt.trace)
 	}
-	if err := rt.sink.Err(); err != nil && firstErr == nil {
-		firstErr = fmt.Errorf("obs trace: %w", err)
+	if err := rt.sink.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("obs trace: %w", err))
 	}
 	rt.Rec = nil
-	return firstErr
+	return errors.Join(errs...)
 }

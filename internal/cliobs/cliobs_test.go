@@ -1,0 +1,115 @@
+package cliobs
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dmra/internal/obs"
+)
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// TestCloseAggregatesErrors is the satellite bugfix gate: Close must
+// surface every shutdown failure via errors.Join, so the trace-write
+// error can never be masked by a flush or file close error.
+func TestCloseAggregatesErrors(t *testing.T) {
+	// A sink whose writer failed: the first Emit records the error.
+	sink := obs.NewSink(failWriter{}, 4)
+	sink.Emit(obs.Event{Kind: obs.KindRound, Round: 1, UE: -1, BS: -1})
+	if sink.Err() == nil {
+		t.Fatal("sink did not record the writer error")
+	}
+
+	// A buffered writer with pending bytes over a failing writer: Flush
+	// fails too.
+	buf := bufio.NewWriter(failWriter{})
+	if _, err := buf.WriteString("pending"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A file already closed: Close fails as well.
+	f, err := os.Create(filepath.Join(t.TempDir(), "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rt := &Runtime{
+		Rec:   obs.NewRecorder(nil, sink),
+		sink:  sink,
+		buf:   buf,
+		file:  f,
+		trace: f.Name(),
+	}
+	cerr := rt.Close()
+	if cerr == nil {
+		t.Fatal("Close returned nil with three failing components")
+	}
+	msg := cerr.Error()
+	for _, want := range []string{"obs trace flush", "obs trace close", "obs trace: disk full"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Close error %q does not surface %q", msg, want)
+		}
+	}
+}
+
+// TestCloseCleanAndDisabled pins the no-error paths.
+func TestCloseCleanAndDisabled(t *testing.T) {
+	var nilRT *Runtime
+	if err := nilRT.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Runtime{}).Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	flags := Register(fs)
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := fs.Parse([]string{"-trace", path}); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := flags.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.WriteManifest(obs.Manifest{Tool: "test", Algorithm: "dmra", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Rec.Event(obs.KindRound, 1, -1, -1)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	manifest, events, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if manifest == nil || manifest.Tool != "test" || len(events) != 1 {
+		t.Fatalf("written trace: manifest=%+v events=%d", manifest, len(events))
+	}
+}
+
+// TestWriteManifestDisabled: pass-through is a free no-op when obs is
+// off.
+func TestWriteManifestDisabled(t *testing.T) {
+	var nilRT *Runtime
+	if err := nilRT.WriteManifest(obs.Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Runtime{}).WriteManifest(obs.Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+
+	"dmra/internal/mec"
+)
+
+// Snapshot is the full matching state at a round barrier, in the shape
+// every runtime can produce: the per-BS resource residuals and the
+// per-UE serving decision. It is the currency of the time-travel
+// debugger — drivers export one per round through a RoundHook, and
+// internal/replay reconstructs the same struct from a JSONL trace, so
+// "reconstructed ≡ live" is a plain Equal call.
+type Snapshot struct {
+	// Round is the 1-based round the state was captured after.
+	Round int
+	// RemCRU[b][j] is BS b's remaining CRUs for service j.
+	RemCRU [][]int
+	// RemRRB[b] is BS b's remaining radio blocks.
+	RemRRB []int
+	// ServingBS[u] is the BS serving UE u, or mec.CloudBS.
+	ServingBS []mec.BSID
+}
+
+// NewSnapshot returns the round-0 state over net: full capacities,
+// every UE unserved.
+func NewSnapshot(net *mec.Network) *Snapshot {
+	s := &Snapshot{
+		RemCRU:    make([][]int, len(net.BSs)),
+		RemRRB:    make([]int, len(net.BSs)),
+		ServingBS: make([]mec.BSID, len(net.UEs)),
+	}
+	for b := range net.BSs {
+		s.RemCRU[b] = append([]int(nil), net.BSs[b].CRUCapacity...)
+		s.RemRRB[b] = net.BSs[b].MaxRRBs
+	}
+	for u := range s.ServingBS {
+		s.ServingBS[u] = mec.CloudBS
+	}
+	return s
+}
+
+// CaptureState fills the snapshot from a live shared ledger (the
+// synchronous runtime's source of truth), reusing the snapshot's
+// storage.
+func (s *Snapshot) CaptureState(st *mec.State, round int) {
+	net := st.Network()
+	s.Round = round
+	for b := range net.BSs {
+		for j := 0; j < net.Services; j++ {
+			s.RemCRU[b][j] = st.RemainingCRU(mec.BSID(b), mec.ServiceID(j))
+		}
+		s.RemRRB[b] = st.RemainingRRBs(mec.BSID(b))
+	}
+	for u := range net.UEs {
+		s.ServingBS[u] = st.ServingBS(mec.UEID(u))
+	}
+}
+
+// Clone returns a deep copy, for hooks that retain per-round state past
+// the hook invocation (the snapshot passed to a RoundHook is reused).
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{
+		Round:     s.Round,
+		RemCRU:    make([][]int, len(s.RemCRU)),
+		RemRRB:    append([]int(nil), s.RemRRB...),
+		ServingBS: append([]mec.BSID(nil), s.ServingBS...),
+	}
+	for b := range s.RemCRU {
+		c.RemCRU[b] = append([]int(nil), s.RemCRU[b]...)
+	}
+	return c
+}
+
+// Equal reports whether two snapshots describe the same state (round
+// number included).
+func (s *Snapshot) Equal(o *Snapshot) bool {
+	return s.Diff(o) == nil
+}
+
+// Diff returns human-readable deltas between two snapshots, one line
+// per disagreement, or nil when they are identical. The receiver is
+// labeled "a", the argument "b".
+func (s *Snapshot) Diff(o *Snapshot) []string {
+	var d []string
+	if s == nil || o == nil {
+		if s != o {
+			return []string{"one snapshot is nil"}
+		}
+		return nil
+	}
+	if s.Round != o.Round {
+		d = append(d, fmt.Sprintf("round: a=%d b=%d", s.Round, o.Round))
+	}
+	if len(s.RemRRB) != len(o.RemRRB) || len(s.RemCRU) != len(o.RemCRU) {
+		return append(d, fmt.Sprintf("BS count: a=%d b=%d", len(s.RemRRB), len(o.RemRRB)))
+	}
+	for b := range s.RemRRB {
+		if len(s.RemCRU[b]) != len(o.RemCRU[b]) {
+			d = append(d, fmt.Sprintf("BS %d: service count a=%d b=%d", b, len(s.RemCRU[b]), len(o.RemCRU[b])))
+			continue
+		}
+		for j := range s.RemCRU[b] {
+			if s.RemCRU[b][j] != o.RemCRU[b][j] {
+				d = append(d, fmt.Sprintf("BS %d service %d remaining CRUs: a=%d b=%d", b, j, s.RemCRU[b][j], o.RemCRU[b][j]))
+			}
+		}
+		if s.RemRRB[b] != o.RemRRB[b] {
+			d = append(d, fmt.Sprintf("BS %d remaining RRBs: a=%d b=%d", b, s.RemRRB[b], o.RemRRB[b]))
+		}
+	}
+	if len(s.ServingBS) != len(o.ServingBS) {
+		return append(d, fmt.Sprintf("UE count: a=%d b=%d", len(s.ServingBS), len(o.ServingBS)))
+	}
+	for u := range s.ServingBS {
+		if s.ServingBS[u] != o.ServingBS[u] {
+			d = append(d, fmt.Sprintf("UE %d serving BS: a=%s b=%s", u, bsName(s.ServingBS[u]), bsName(o.ServingBS[u])))
+		}
+	}
+	return d
+}
+
+func bsName(b mec.BSID) string {
+	if b == mec.CloudBS {
+		return "cloud"
+	}
+	return fmt.Sprintf("%d", b)
+}
+
+// RoundHook observes the matching state after each round's select phase
+// (and once more after the final, empty round). The snapshot is only
+// valid during the call — Clone it to retain. Hooks run on the driver's
+// round goroutine, in round order.
+type RoundHook func(*Snapshot)

@@ -70,13 +70,24 @@ func (r *Recorder) Event(kind EventKind, round, ue, bs int) {
 	r.EventAt(0, kind, round, ue, bs)
 }
 
+// EventShard records one protocol action attributed to the coordinator
+// shard owning the BS (internal/wire). Shard is carried in the trace for
+// attribution only; it is not part of the event identity.
+func (r *Recorder) EventShard(shard int, kind EventKind, round, ue, bs int) {
+	r.emit(Event{Kind: kind, Round: round, UE: ue, BS: bs, Shard: shard})
+}
+
 // EventAt records one protocol action with a simulated timestamp. No-op on
 // a nil recorder.
 func (r *Recorder) EventAt(timeS float64, kind EventKind, round, ue, bs int) {
+	r.emit(Event{Kind: kind, Round: round, UE: ue, BS: bs, TimeS: timeS})
+}
+
+func (r *Recorder) emit(e Event) {
 	if r == nil {
 		return
 	}
-	switch kind {
+	switch e.Kind {
 	case KindRound:
 		r.rounds.Inc()
 	case KindPropose:
@@ -92,7 +103,7 @@ func (r *Recorder) EventAt(timeS float64, kind EventKind, round, ue, bs int) {
 	case KindBroadcast:
 		r.broadcasts.Inc()
 	}
-	r.sink.Emit(Event{Kind: kind, Round: round, UE: ue, BS: bs, TimeS: timeS})
+	r.sink.Emit(e)
 }
 
 // Residual updates BS bs's per-round residual-capacity gauges: remaining

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TimelineSample is one periodic snapshot of a dynamic session's gauges:
+// the time-series record internal/online's timeline sampler writes as
+// JSONL and the saturation analyzer reads back. Counters are cumulative
+// since session start; gauges are instantaneous at TimeS.
+type TimelineSample struct {
+	// TimeS is the simulation time of the sample.
+	TimeS float64 `json:"timeS"`
+	// Active is the concurrent population (admitted + waiting); Waiting
+	// is the unmatched slice of it.
+	Active  int `json:"active"`
+	Waiting int `json:"waiting"`
+	// Arrivals/Departures/Saturated are cumulative lifecycle counts.
+	Arrivals   int `json:"arrivals"`
+	Departures int `json:"departures"`
+	Saturated  int `json:"saturated"`
+	// EdgeServed and CloudServed split cumulative placements.
+	EdgeServed  int `json:"edgeServed"`
+	CloudServed int `json:"cloudServed"`
+	// OccupancyRRB is the instantaneous fraction of RRBs in use.
+	OccupancyRRB float64 `json:"occupancyRRB"`
+	// ProfitRate is the instantaneous MEC-layer profit per second.
+	ProfitRate float64 `json:"profitRate"`
+	// Cohorts breaks the counts down per workload cohort, in spec order.
+	Cohorts []CohortSample `json:"cohorts,omitempty"`
+}
+
+// CohortSample is one cohort's slice of a timeline sample.
+type CohortSample struct {
+	Name string `json:"name"`
+	// Arrivals counts admitted arrivals; Saturated counts arrivals
+	// dropped at the concurrent-population bound.
+	Arrivals  int `json:"arrivals"`
+	Saturated int `json:"saturated"`
+	// EdgeServed and CloudServed split the cohort's placements.
+	EdgeServed  int `json:"edgeServed"`
+	CloudServed int `json:"cloudServed"`
+	// UnmatchedRate is the fraction of the cohort's offered arrivals
+	// (admitted + saturated) that did not get edge service.
+	UnmatchedRate float64 `json:"unmatchedRate"`
+}
+
+// EdgeRatio returns the fraction of placed tasks served at the edge.
+func (s TimelineSample) EdgeRatio() float64 {
+	total := s.EdgeServed + s.CloudServed
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EdgeServed) / float64(total)
+}
+
+// UnmatchedRate returns the fraction of offered arrivals (admitted +
+// saturated) not served at the edge — the saturation analyzer's figure
+// of merit.
+func (s TimelineSample) UnmatchedRate() float64 {
+	offered := s.Arrivals + s.Saturated
+	if offered == 0 {
+		return 0
+	}
+	return float64(s.CloudServed+s.Saturated) / float64(offered)
+}
+
+// WriteTimelineSample appends one sample as a JSON line.
+func WriteTimelineSample(w io.Writer, s TimelineSample) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadTimeline decodes a timeline JSONL stream. Like ReadTrace it is
+// truncation-tolerant: a corrupt or half-written final line returns the
+// decoded prefix alongside the error, and empty input is a valid empty
+// timeline.
+func ReadTimeline(r io.Reader) ([]TimelineSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxTraceLine)
+	var (
+		out    []TimelineSample
+		lineNo int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var s TimelineSample
+		if err := json.Unmarshal(line, &s); err != nil {
+			return out, fmt.Errorf("obs: timeline line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: timeline line %d: %w", lineNo+1, err)
+	}
+	return out, nil
+}

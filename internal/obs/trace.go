@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -84,6 +86,10 @@ type Event struct {
 	UE    int       `json:"ue"`
 	BS    int       `json:"bs"`
 	TimeS float64   `json:"timeS,omitempty"`
+	// Shard attributes BS-owned events to the coordinator shard that owns
+	// the BS (internal/wire); 0 elsewhere. Not part of Key(): the sharding
+	// parity guarantee is exactly that event identity is shard-independent.
+	Shard int `json:"shard,omitempty"`
 }
 
 // Key returns the (round, ue, bs, kind) identity used to compare traces
@@ -98,13 +104,14 @@ func (e Event) Key() [4]int {
 // Sinks are safe for concurrent use; events from concurrent emitters are
 // sequenced in lock order.
 type Sink struct {
-	mu    sync.Mutex
-	w     io.Writer
-	ring  []Event
-	start int // index of the oldest ring entry
-	n     int // live ring entries
-	seq   int64
-	err   error
+	mu       sync.Mutex
+	w        io.Writer
+	ring     []Event
+	start    int // index of the oldest ring entry
+	n        int // live ring entries
+	seq      int64
+	err      error
+	manifest *Manifest
 }
 
 // NewSink returns a sink writing JSONL to w (nil w disables the writer)
@@ -179,19 +186,55 @@ func (s *Sink) Err() error {
 	return s.err
 }
 
-// ReadEvents decodes a JSONL trace (as written by a Sink) back into
-// events, for replay and diffing.
-func ReadEvents(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
-	var out []Event
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return out, nil
+// maxTraceLine bounds one JSONL record; real events are under 200 bytes
+// and manifests under a few KB even with a large embedded scenario.
+const maxTraceLine = 1 << 20
+
+// ReadTrace decodes a JSONL trace (as written by a Sink): the optional
+// manifest header on line 1, then events. On a corrupt or truncated line
+// — the normal artifact of a crashed or killed run — it returns the
+// successfully-decoded prefix alongside the error, so tools can warn and
+// continue instead of losing the whole trace. An empty input is a valid
+// empty trace.
+func ReadTrace(r io.Reader) (*Manifest, []Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxTraceLine)
+	var (
+		manifest *Manifest
+		out      []Event
+		lineNo   int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if lineNo == 1 && bytes.HasPrefix(line, []byte(`{"manifest"`)) {
+			var ml manifestLine
+			if err := json.Unmarshal(line, &ml); err != nil {
+				return nil, out, fmt.Errorf("obs: trace line 1: bad manifest: %w", err)
 			}
-			return out, fmt.Errorf("obs: trace line %d: %w", len(out)+1, err)
+			manifest = ml.Manifest
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return manifest, out, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
 		}
 		out = append(out, e)
 	}
+	if err := sc.Err(); err != nil {
+		return manifest, out, fmt.Errorf("obs: trace line %d: %w", lineNo+1, err)
+	}
+	return manifest, out, nil
+}
+
+// ReadEvents decodes a JSONL trace (as written by a Sink) back into
+// events, for replay and diffing, skipping the manifest header if
+// present. On a corrupt or truncated line it returns the decoded prefix
+// alongside the error.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	_, events, err := ReadTrace(r)
+	return events, err
 }

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func emitN(s *Sink, n int) {
+	for i := 0; i < n; i++ {
+		s.Emit(Event{Kind: KindPropose, Round: 1 + i/4, UE: i, BS: i % 3})
+	}
+}
+
+// TestReadTraceTruncatedReturnsPrefix is the satellite bugfix gate: a
+// trace cut mid-line (the normal crash artifact) must yield every
+// fully-written event alongside the error, not lose the whole read.
+func TestReadTraceTruncatedReturnsPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSink(&buf, 8)
+	emitN(sink, 10)
+	full := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(full, "\n"), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("wrote %d lines, want 10", len(lines))
+	}
+	// Chop the final line in half.
+	last := lines[9]
+	cut := strings.Join(lines[:9], "") + last[:len(last)/2]
+
+	events, err := ReadEvents(strings.NewReader(cut))
+	if err == nil {
+		t.Fatal("truncated trace read without error")
+	}
+	if !strings.Contains(err.Error(), "line 10") {
+		t.Fatalf("error does not name the bad line: %v", err)
+	}
+	if len(events) != 9 {
+		t.Fatalf("decoded prefix has %d events, want 9", len(events))
+	}
+	for i, e := range events {
+		if e.UE != i {
+			t.Fatalf("event %d decoded as UE %d", i, e.UE)
+		}
+	}
+}
+
+// TestReadTraceEmptyAndGarbage pins the degenerate inputs.
+func TestReadTraceEmptyAndGarbage(t *testing.T) {
+	m, events, err := ReadTrace(strings.NewReader(""))
+	if err != nil || m != nil || len(events) != 0 {
+		t.Fatalf("empty input: manifest=%v events=%d err=%v", m, len(events), err)
+	}
+	if _, _, err := ReadTrace(strings.NewReader("not json at all")); err == nil {
+		t.Fatal("garbage line read without error")
+	}
+	// A corrupt line mid-file still returns the earlier events.
+	input := `{"seq":1,"kind":"round","round":1,"ue":-1,"bs":-1}` + "\n" +
+		"garbage\n" +
+		`{"seq":2,"kind":"broadcast","round":1,"ue":-1,"bs":0}` + "\n"
+	_, events, err = ReadTrace(strings.NewReader(input))
+	if err == nil || len(events) != 1 {
+		t.Fatalf("mid-file corruption: events=%d err=%v", len(events), err)
+	}
+	// Blank lines are skipped, not errors.
+	_, events, err = ReadTrace(strings.NewReader("\n\n" + `{"seq":1,"kind":"round","round":1,"ue":-1,"bs":-1}` + "\n\n"))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("blank lines: events=%d err=%v", len(events), err)
+	}
+}
+
+// TestManifestRoundTrip writes a manifest-led trace and reads it back.
+func TestManifestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSink(&buf, 8)
+	m := Manifest{
+		Tool:      "dmra-sim",
+		Algorithm: "wire",
+		Seed:      7,
+		Rho:       250,
+		Shards:    3,
+		Scenario:  json.RawMessage(`{"ues":40}`),
+	}
+	if err := sink.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	emitN(sink, 3)
+
+	got, events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("manifest not read back")
+	}
+	if got.SchemaVersion != ManifestSchemaVersion || got.Algorithm != "wire" || got.Seed != 7 || got.Shards != 3 {
+		t.Fatalf("manifest round trip: %+v", got)
+	}
+	if got.ConfigHash == "" || got.ConfigHash != got.ComputeHash() {
+		t.Fatalf("config hash not sealed correctly: %q", got.ConfigHash)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events, want 3", len(events))
+	}
+	if sink.Manifest() == nil {
+		t.Fatal("sink does not retain the manifest")
+	}
+}
+
+// TestManifestOrdering: a manifest after events (or a second manifest)
+// is refused.
+func TestManifestOrdering(t *testing.T) {
+	sink := NewSink(nil, 8)
+	emitN(sink, 1)
+	if err := sink.WriteManifest(Manifest{Algorithm: "dmra"}); err == nil {
+		t.Fatal("manifest accepted after events")
+	}
+	sink2 := NewSink(nil, 8)
+	if err := sink2.WriteManifest(Manifest{Algorithm: "dmra"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink2.WriteManifest(Manifest{Algorithm: "dmra"}); err == nil {
+		t.Fatal("second manifest accepted")
+	}
+	// Nil sink: free no-op.
+	var nilSink *Sink
+	if err := nilSink.WriteManifest(Manifest{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestManifestCompatibility pins the refuse-to-diff rules.
+func TestManifestCompatibility(t *testing.T) {
+	base := Manifest{Algorithm: "dmra", Seed: 1, Rho: 250, Scenario: json.RawMessage(`{"ues":40}`)}
+	base.Seal()
+
+	same := base
+	same.Tool = "dmra-debug" // tool is not identity
+	same.Seal()
+	if err := base.CompatibleWith(&same); err != nil {
+		t.Fatalf("tool change broke compatibility: %v", err)
+	}
+
+	shards := base
+	shards.Shards = 7 // shard count is not identity either
+	shards.Seal()
+	if err := base.CompatibleWith(&shards); err != nil {
+		t.Fatalf("shard change broke compatibility: %v", err)
+	}
+
+	seed := base
+	seed.Seed = 2
+	seed.Seal()
+	if err := base.CompatibleWith(&seed); err == nil {
+		t.Fatal("seed change not rejected")
+	}
+	rho := base
+	rho.Rho = 500
+	rho.Seal()
+	if err := base.CompatibleWith(&rho); err == nil {
+		t.Fatal("rho change not rejected")
+	}
+	scen := base
+	scen.Scenario = json.RawMessage(`{"ues":80}`)
+	scen.Seal()
+	if err := base.CompatibleWith(&scen); err == nil {
+		t.Fatal("scenario change not rejected")
+	}
+	ver := base
+	ver.SchemaVersion = ManifestSchemaVersion + 1
+	if err := base.CompatibleWith(&ver); err == nil {
+		t.Fatal("schema version change not rejected")
+	}
+	if err := base.CompatibleWith(nil); err == nil {
+		t.Fatal("missing manifest not rejected")
+	}
+	var nilM *Manifest
+	if err := nilM.CompatibleWith(&base); err == nil {
+		t.Fatal("nil receiver not rejected")
+	}
+}
+
+// TestEventShardRoundTrip: the shard attribution survives the JSONL
+// round trip and stays out of the identity key.
+func TestEventShardRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSink(&buf, 8)
+	rec := NewRecorder(nil, sink)
+	rec.EventShard(2, KindAccept, 1, 5, 8)
+	rec.Event(KindAccept, 1, 5, 8)
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("read %d events, want 2", len(events))
+	}
+	if events[0].Shard != 2 || events[1].Shard != 0 {
+		t.Fatalf("shards = %d, %d; want 2, 0", events[0].Shard, events[1].Shard)
+	}
+	if events[0].Key() != events[1].Key() {
+		t.Fatal("shard attribution leaked into the event identity key")
+	}
+}

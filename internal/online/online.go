@@ -30,6 +30,7 @@ package online
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"dmra/internal/alloc"
@@ -81,6 +82,15 @@ type Config struct {
 	// to the recorder. Nil (the default) adds no per-epoch work and the
 	// report is identical.
 	Obs *obs.Recorder
+	// Timeline, when non-nil, receives a periodic obs.TimelineSample as
+	// one JSON line every TimelineEveryS seconds of simulated time:
+	// concurrent sessions, cumulative lifecycle counts, edge/cloud split,
+	// RRB occupancy, profit rate, and the per-cohort breakdown. The first
+	// write error aborts sampling and is returned from Run.
+	Timeline io.Writer
+	// TimelineEveryS is the sampling period in seconds; <= 0 defaults to
+	// EpochS (one sample per re-allocation epoch).
+	TimelineEveryS float64
 }
 
 // DefaultConfig returns a moderately loaded dynamic session over the
@@ -438,6 +448,9 @@ type session struct {
 	active  map[mec.UEID]placement
 
 	rep Report
+	// timelineErr remembers the first sampler write failure; sampling
+	// stops there and run() surfaces it.
+	timelineErr error
 	// integration state for time averages
 	lastT       float64
 	areaActive  float64
@@ -456,6 +469,13 @@ func (s *session) run() (Report, error) {
 		s.scheduleNextArrival(co)
 	}
 	s.engine.Schedule(s.cfg.EpochS, s.epoch)
+	if s.cfg.Timeline != nil {
+		every := s.cfg.TimelineEveryS
+		if every <= 0 {
+			every = s.cfg.EpochS
+		}
+		s.engine.Schedule(every, func() { s.sampleTimeline(every) })
+	}
 	// Drive to the horizon and stop: events at exactly DurationS fire,
 	// departures scheduled past it never do, so nothing mutates state or
 	// profitRate after the integrals are clamped below.
@@ -481,7 +501,69 @@ func (s *session) run() (Report, error) {
 	if err := s.state.CheckInvariants(); err != nil {
 		return Report{}, fmt.Errorf("online: ledger corrupted: %w", err)
 	}
+	if s.timelineErr != nil {
+		return Report{}, fmt.Errorf("online: timeline: %w", s.timelineErr)
+	}
 	return s.rep, nil
+}
+
+// sampleTimeline emits one obs.TimelineSample and reschedules itself.
+// The first write error stops sampling (the session keeps running) and
+// is surfaced from run().
+func (s *session) sampleTimeline(every float64) {
+	if s.timelineErr != nil {
+		return
+	}
+	// A re-allocation epoch due at this same instant is already queued
+	// and ties fire in scheduling order, so defer the actual write by a
+	// zero-delay event: the sample then observes post-match state, and
+	// its cumulative counters agree with the final report at the horizon.
+	s.engine.Schedule(0, s.writeTimelineSample)
+	if s.engine.Now()+every <= s.cfg.DurationS+1e-9 {
+		s.engine.Schedule(every, func() { s.sampleTimeline(every) })
+	}
+}
+
+func (s *session) writeTimelineSample() {
+	if s.timelineErr != nil {
+		return
+	}
+	used := 0
+	for b := range s.net.BSs {
+		used += s.net.BSs[b].MaxRRBs - s.state.RemainingRRBs(mec.BSID(b))
+	}
+	occupancy := 0.0
+	if s.totalRRBs > 0 {
+		occupancy = float64(used) / float64(s.totalRRBs)
+	}
+	sample := obs.TimelineSample{
+		TimeS:        s.engine.Now(),
+		Active:       len(s.active) + len(s.waiting),
+		Waiting:      len(s.waiting),
+		Arrivals:     s.rep.Arrivals,
+		Departures:   s.rep.Departures,
+		Saturated:    s.rep.Saturated,
+		EdgeServed:   s.rep.EdgeServed,
+		CloudServed:  s.rep.CloudServed,
+		OccupancyRRB: occupancy,
+		ProfitRate:   s.profitRate,
+	}
+	if len(s.cohorts) > 1 || s.cfg.Workload != nil {
+		sample.Cohorts = make([]obs.CohortSample, len(s.cohorts))
+		for i, co := range s.cohorts {
+			cs := obs.CohortSample{
+				Name: co.name, Arrivals: co.arrivals, Saturated: co.saturated,
+				EdgeServed: co.edgeServed, CloudServed: co.cloudServed,
+			}
+			if offered := co.arrivals + co.saturated; offered > 0 {
+				cs.UnmatchedRate = float64(co.cloudServed+co.saturated) / float64(offered)
+			}
+			sample.Cohorts[i] = cs
+		}
+	}
+	if err := obs.WriteTimelineSample(s.cfg.Timeline, sample); err != nil {
+		s.timelineErr = err
+	}
 }
 
 // scheduleNextArrival asks the cohort's process for its next arrival

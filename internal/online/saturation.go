@@ -1,0 +1,125 @@
+package online
+
+import (
+	"fmt"
+	"sort"
+
+	"dmra/internal/workload/dynamic"
+)
+
+// DefaultKneeThreshold is the unmatched-rate ceiling that defines
+// "sustainable" load: the capacity knee is the highest swept rate whose
+// unmatched-UE rate stays at or under it.
+const DefaultKneeThreshold = 0.05
+
+// SaturationPoint is one swept arrival rate's steady-state measurements.
+type SaturationPoint struct {
+	// RateHz is the aggregate arrival rate the spec was scaled to.
+	RateHz float64
+	// OfferedLoad is the Little's-law concurrent-session estimate at
+	// this rate (rate x mean hold, summed over cohorts).
+	OfferedLoad float64
+	// Arrivals and Saturated count admitted and pool-bound-dropped
+	// arrivals over the horizon.
+	Arrivals  int
+	Saturated int
+	// EdgeServed and CloudServed split placements.
+	EdgeServed  int
+	CloudServed int
+	// UnmatchedRate is (CloudServed + Saturated) / (Arrivals + Saturated)
+	// — the fraction of offered arrivals that did not get edge service.
+	UnmatchedRate float64
+	// EdgeRatio is EdgeServed / (EdgeServed + CloudServed).
+	EdgeRatio float64
+	// MeanConcurrent and MeanOccupancyRRB are the session's time
+	// averages.
+	MeanConcurrent   float64
+	MeanOccupancyRRB float64
+}
+
+// SaturationReport is the result of a rate sweep: one point per rate in
+// ascending order, plus the identified capacity knee.
+type SaturationReport struct {
+	Points []SaturationPoint
+	// Threshold is the unmatched-rate ceiling the knee was judged by.
+	Threshold float64
+	// KneeIndex is the index of the highest rate whose unmatched rate
+	// stays at or under Threshold, or -1 when even the lowest swept rate
+	// saturates.
+	KneeIndex int
+}
+
+// Knee returns the capacity-knee point, or false when every swept rate
+// saturated.
+func (r SaturationReport) Knee() (SaturationPoint, bool) {
+	if r.KneeIndex < 0 || r.KneeIndex >= len(r.Points) {
+		return SaturationPoint{}, false
+	}
+	return r.Points[r.KneeIndex], true
+}
+
+// SaturationSweep finds the capacity knee of a scenario under a dynamic
+// workload spec: it scales the spec's aggregate arrival rate to each of
+// rates (ascending), runs one session per rate under base (same
+// scenario, epoch, horizon, algorithm, seed), and reports where the
+// unmatched-UE rate crosses threshold (<= 0 picks
+// DefaultKneeThreshold).
+//
+// When base.Scenario.UEs is 0 the concurrent-population bound is sized
+// automatically per rate from the spec's offered load (4x + headroom,
+// clamped), so the pool bound does not masquerade as the capacity limit
+// being measured; a fixed non-zero value is kept as-is for all rates.
+func SaturationSweep(base Config, spec dynamic.Spec, rates []float64, threshold float64) (SaturationReport, error) {
+	if len(rates) == 0 {
+		return SaturationReport{}, fmt.Errorf("online: saturation sweep needs at least one rate")
+	}
+	if threshold <= 0 {
+		threshold = DefaultKneeThreshold
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+
+	rep := SaturationReport{Threshold: threshold, KneeIndex: -1}
+	for _, rate := range sorted {
+		scaled, err := spec.ScaleRate(rate)
+		if err != nil {
+			return SaturationReport{}, err
+		}
+		load, err := scaled.OfferedLoad()
+		if err != nil {
+			return SaturationReport{}, err
+		}
+		cfg := base
+		cfg.Workload = &scaled
+		if cfg.Scenario.UEs == 0 {
+			pool := int(4*load) + 16
+			if pool > 1<<20 {
+				pool = 1 << 20
+			}
+			cfg.Scenario.UEs = pool
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			return SaturationReport{}, fmt.Errorf("online: sweep rate %g: %w", rate, err)
+		}
+		p := SaturationPoint{
+			RateHz:           rate,
+			OfferedLoad:      load,
+			Arrivals:         r.Arrivals,
+			Saturated:        r.Saturated,
+			EdgeServed:       r.EdgeServed,
+			CloudServed:      r.CloudServed,
+			EdgeRatio:        r.EdgeRatio(),
+			MeanConcurrent:   r.MeanConcurrent,
+			MeanOccupancyRRB: r.MeanOccupancyRRB,
+		}
+		if offered := r.Arrivals + r.Saturated; offered > 0 {
+			p.UnmatchedRate = float64(r.CloudServed+r.Saturated) / float64(offered)
+		}
+		rep.Points = append(rep.Points, p)
+		if p.UnmatchedRate <= threshold {
+			rep.KneeIndex = len(rep.Points) - 1
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,125 @@
+package online
+
+import (
+	"strings"
+	"testing"
+
+	"dmra/internal/workload/dynamic"
+)
+
+// saturationBase keeps the paper's full-coverage BS lattice but narrows
+// every BS's uplink to 12 RRBs and eases the per-UE rate demand, so the
+// capacity knee shows up at single-digit arrival rates — unmatched UEs
+// then measure capacity exhaustion, not coverage holes — and the sweep
+// stays fast.
+func saturationBase() Config {
+	cfg := DefaultConfig()
+	cfg.Scenario.UEs = 0 // auto-sized per swept rate
+	cfg.Scenario.Radio.UplinkBandwidthHz = 12 * cfg.Scenario.Radio.RRBBandwidthHz
+	cfg.Scenario.RateMinBps = 1e6
+	cfg.Scenario.RateMaxBps = 2e6
+	cfg.DurationS = 40
+	return cfg
+}
+
+func saturationSpec() dynamic.Spec {
+	return dynamic.Spec{
+		Version: dynamic.SpecVersion,
+		Cohorts: []dynamic.Cohort{{
+			Name:      "all",
+			PoolShare: 1,
+			Arrival:   dynamic.ArrivalSpec{Process: dynamic.ProcessPoisson, RateHz: 1},
+			HoldS:     dynamic.DistSpec{Dist: dynamic.DistExponential, Mean: 20},
+		}},
+	}
+}
+
+func TestSaturationSweepFindsKnee(t *testing.T) {
+	// Loads 5, 20, 80, 320, 1280 concurrent against 25 BSs x 12 RRBs:
+	// the low end must be comfortably served, the high end must
+	// saturate.
+	rates := []float64{0.25, 1, 4, 16, 64}
+	rep, err := SaturationSweep(saturationBase(), saturationSpec(), rates, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Threshold != DefaultKneeThreshold {
+		t.Fatalf("threshold %g, want default %g", rep.Threshold, DefaultKneeThreshold)
+	}
+	if len(rep.Points) != len(rates) {
+		t.Fatalf("got %d points, want %d", len(rep.Points), len(rates))
+	}
+	for i, p := range rep.Points {
+		if p.RateHz != rates[i] {
+			t.Fatalf("point %d at rate %g, want %g (ascending order)", i, p.RateHz, rates[i])
+		}
+		if p.Arrivals+p.Saturated == 0 {
+			t.Fatalf("point %d saw no offered arrivals: %+v", i, p)
+		}
+	}
+	first, last := rep.Points[0], rep.Points[len(rep.Points)-1]
+	if first.UnmatchedRate > rep.Threshold {
+		t.Fatalf("lowest rate already saturated: unmatched %g", first.UnmatchedRate)
+	}
+	if last.UnmatchedRate <= rep.Threshold {
+		t.Fatalf("highest rate not saturated: unmatched %g", last.UnmatchedRate)
+	}
+	knee, ok := rep.Knee()
+	if !ok {
+		t.Fatal("no knee identified despite an unsaturated low end")
+	}
+	if rep.KneeIndex == len(rep.Points)-1 {
+		t.Fatal("knee at the top of the sweep: the sweep never diverged")
+	}
+	// Every point past the knee must be saturated — that is what "last
+	// sustainable rate" means.
+	for _, p := range rep.Points[rep.KneeIndex+1:] {
+		if p.UnmatchedRate <= rep.Threshold {
+			t.Fatalf("rate %g past the knee (%g) is under threshold", p.RateHz, knee.RateHz)
+		}
+	}
+}
+
+func TestSaturationSweepAllSaturated(t *testing.T) {
+	rep, err := SaturationSweep(saturationBase(), saturationSpec(), []float64{64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KneeIndex != -1 {
+		t.Fatalf("KneeIndex %d, want -1 when every rate saturates", rep.KneeIndex)
+	}
+	if _, ok := rep.Knee(); ok {
+		t.Fatal("Knee reported a point from an all-saturated sweep")
+	}
+}
+
+func TestSaturationSweepRejects(t *testing.T) {
+	if _, err := SaturationSweep(saturationBase(), saturationSpec(), nil, 0); err == nil ||
+		!strings.Contains(err.Error(), "at least one rate") {
+		t.Fatalf("empty rates: got %v", err)
+	}
+	traceSpec := saturationSpec()
+	traceSpec.Trace = "recorded.csv"
+	if _, err := SaturationSweep(saturationBase(), traceSpec, []float64{1}, 0); err == nil ||
+		!strings.Contains(err.Error(), "trace") {
+		t.Fatalf("trace spec: got %v", err)
+	}
+}
+
+// TestSaturationSweepFixedPool: a non-zero Scenario.UEs is kept as-is,
+// so pool-bound drops count toward saturation.
+func TestSaturationSweepFixedPool(t *testing.T) {
+	base := saturationBase()
+	base.Scenario.UEs = 8
+	rep, err := SaturationSweep(base, saturationSpec(), []float64{25}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Points[0]
+	if p.Saturated == 0 {
+		t.Fatalf("8-UE pool at load 500 never hit the population bound: %+v", p)
+	}
+	if p.UnmatchedRate <= rep.Threshold {
+		t.Fatalf("pool-bound drops not reflected in unmatched rate: %+v", p)
+	}
+}

@@ -1,0 +1,168 @@
+package online
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmra/internal/obs"
+	"dmra/internal/workload/dynamic"
+)
+
+// timelineConfig is a short session sized so the sampler cadence is easy
+// to count: 30 s horizon sampled every 5 s.
+func timelineConfig() Config {
+	cfg := fastConfig()
+	cfg.DurationS = 30
+	cfg.TimelineEveryS = 5
+	return cfg
+}
+
+func TestTimelineSampler(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := timelineConfig()
+	cfg.Timeline = &buf
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Samples at 5, 10, ..., 30: the closed-right horizon includes the
+	// sample at exactly DurationS.
+	if len(samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(samples))
+	}
+	for i, s := range samples {
+		wantT := 5 * float64(i+1)
+		if math.Abs(s.TimeS-wantT) > 1e-9 {
+			t.Fatalf("sample %d at t=%g, want %g", i, s.TimeS, wantT)
+		}
+		if s.Arrivals < 0 || s.Active < 0 || s.Waiting > s.Active {
+			t.Fatalf("sample %d inconsistent: %+v", i, s)
+		}
+		if i > 0 && s.Arrivals < samples[i-1].Arrivals {
+			t.Fatalf("cumulative arrivals decreased at sample %d", i)
+		}
+		if s.Cohorts != nil {
+			t.Fatalf("default single-process session reported cohorts: %+v", s.Cohorts)
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.Arrivals != rep.Arrivals || last.EdgeServed != rep.EdgeServed ||
+		last.CloudServed != rep.CloudServed || last.Saturated != rep.Saturated {
+		t.Fatalf("final sample %+v disagrees with report %+v", last, rep)
+	}
+}
+
+// TestTimelineCohortBreakdown: a workload-spec session attaches the
+// per-cohort slice to every sample.
+func TestTimelineCohortBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := timelineConfig()
+	cfg.ArrivalRate, cfg.MeanHoldS = 0, 0
+	cfg.Workload = &dynamic.Spec{
+		Version: dynamic.SpecVersion,
+		Cohorts: []dynamic.Cohort{
+			{Name: "iot", PoolShare: 0.5,
+				Arrival: dynamic.ArrivalSpec{Process: dynamic.ProcessPoisson, RateHz: 2},
+				HoldS:   dynamic.DistSpec{Dist: dynamic.DistExponential, Mean: 10}},
+			{Name: "video", PoolShare: 0.5,
+				Arrival: dynamic.ArrivalSpec{Process: dynamic.ProcessPoisson, RateHz: 1},
+				HoldS:   dynamic.DistSpec{Dist: dynamic.DistConstant, Value: 20}},
+		},
+	}
+	cfg.Timeline = &buf
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples written")
+	}
+	for _, s := range samples {
+		if len(s.Cohorts) != 2 || s.Cohorts[0].Name != "iot" || s.Cohorts[1].Name != "video" {
+			t.Fatalf("cohort breakdown missing or misordered: %+v", s.Cohorts)
+		}
+		sum := s.Cohorts[0].Arrivals + s.Cohorts[1].Arrivals
+		if sum != s.Arrivals {
+			t.Fatalf("cohort arrivals %d do not sum to total %d", sum, s.Arrivals)
+		}
+	}
+}
+
+// TestTimelineDefaultCadence: TimelineEveryS <= 0 falls back to one
+// sample per epoch.
+func TestTimelineDefaultCadence(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := timelineConfig()
+	cfg.TimelineEveryS = 0
+	cfg.Timeline = &buf
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := obs.ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(cfg.DurationS / cfg.EpochS); len(samples) != want {
+		t.Fatalf("got %d samples, want %d (one per epoch)", len(samples), want)
+	}
+}
+
+type failAfter struct {
+	n int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("timeline disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestTimelineWriteErrorSurfaced: the first sampler write failure aborts
+// sampling and Run reports it; the session itself still completes.
+func TestTimelineWriteErrorSurfaced(t *testing.T) {
+	cfg := timelineConfig()
+	cfg.Timeline = &failAfter{n: 2}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("Run swallowed the timeline write error")
+	}
+	if !strings.Contains(err.Error(), "online: timeline") || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("error %q does not surface the timeline write failure", err)
+	}
+}
+
+// TestTimelineOffIsFree: without a Timeline writer the report is
+// byte-identical to the sampled run's — sampling must not perturb the
+// session (it only reads state).
+func TestTimelineOffIsFree(t *testing.T) {
+	plain, err := Run(timelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	cfg := timelineConfig()
+	cfg.Timeline = &buf
+	sampled, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Events differ (the sampler's own firings are counted); everything
+	// observable about the session must not.
+	sampled.Events = plain.Events
+	if !reflect.DeepEqual(plain, sampled) {
+		t.Fatalf("timeline sampling perturbed the session:\n plain   %+v\n sampled %+v", plain, sampled)
+	}
+}

@@ -58,6 +58,11 @@ type Config struct {
 	// Unlike Trace's string kinds, Obs splits rejects into permanent and
 	// trim, matching internal/wire's verdicts event for event.
 	Obs *obs.Recorder
+	// RoundHook, if non-nil, observes the full matching state at the end
+	// of every round (the controller's decision point, after accepts have
+	// been delivered): per-BS ledger residuals and per-UE serving BS. The
+	// snapshot is reused across rounds; Clone to retain.
+	RoundHook engine.RoundHook
 }
 
 // DefaultConfig returns a 1 ms-latency protocol with the default DMRA
@@ -179,6 +184,9 @@ type runner struct {
 	// controller counts the round's requests directly.
 	requestsThisRound int
 
+	// snap is the reused RoundHook snapshot (nil when no hook is set).
+	snap *engine.Snapshot
+
 	// fatal records an engine-level failure surfaced inside an event
 	// callback; run() converts it into the returned error.
 	fatal error
@@ -217,6 +225,30 @@ func (r *runner) setup() {
 			admitted: make(map[mec.UEID]bool),
 		}
 	}
+	if r.cfg.RoundHook != nil {
+		r.snap = engine.NewSnapshot(r.net)
+	}
+}
+
+// exportRound fires the RoundHook with the state at the controller's
+// end-of-round decision point: accepts scheduled at select time have
+// been delivered, so agents' serving BSs agree with the BS ledgers
+// (loss-free runs; lost accepts show up as ledger debits without a
+// matching assignment, exactly the leaked reservations the Result
+// reports).
+func (r *runner) exportRound(round int) {
+	if r.cfg.RoundHook == nil {
+		return
+	}
+	r.snap.Round = round
+	for b, bs := range r.bss {
+		copy(r.snap.RemCRU[b], bs.led.RemainingCRU())
+		r.snap.RemRRB[b] = bs.led.RemainingRRBs()
+	}
+	for u, agent := range r.ues {
+		r.snap.ServingBS[u] = agent.servedBy
+	}
+	r.cfg.RoundHook(r.snap)
 }
 
 func (r *runner) run() (Result, error) {
@@ -300,6 +332,7 @@ func (r *runner) startRound(round int, protocolErr *error) {
 	r.engine.Schedule(1.5*L, func() { r.selectPhase(round) })
 	// The controller decides after the full round trip whether to go on.
 	r.engine.Schedule(3*L, func() {
+		r.exportRound(round)
 		if r.requestsThisRound == 0 {
 			return // quiesced: no events pending, engine drains
 		}

@@ -42,8 +42,17 @@ type ClusterConfig struct {
 	// Obs, if non-nil, receives the typed convergence event stream
 	// (emitted from the merge goroutine only, in deterministic UE/BS
 	// order), per-round residual gauges, and the wire_round_seconds /
-	// wire_shard_round_seconds{shard} latency histograms.
+	// wire_shard_round_seconds{shard} latency histograms. BS-attributed
+	// events carry the owning shard (b mod Shards) in Event.Shard; the
+	// shard is attribution only and never part of the event identity, so
+	// traces stay diffable across shard counts.
 	Obs *obs.Recorder
+	// RoundHook, if non-nil, observes the full matching state after each
+	// round's merge phase (and once more for the final round in which no
+	// UE proposed): per-BS residuals as reported by the BS servers'
+	// broadcasts, and per-UE serving BS. The snapshot is reused across
+	// rounds; Clone to retain.
+	RoundHook engine.RoundHook
 }
 
 // BSTraffic is the coordinator-side byte accounting for one BS connection.
@@ -218,6 +227,30 @@ func RunClusterWith(net_ *mec.Network, cc ClusterConfig) (res ClusterResult, err
 	responses := make([]*RoundResponse, len(net_.BSs))
 	errs := make([]error, len(net_.BSs))
 
+	// The round snapshot carries residuals forward across rounds: a BS
+	// with no requests this round sends no broadcast, so its entry keeps
+	// the last reported (or initial) capacities.
+	var snap *engine.Snapshot
+	if cc.RoundHook != nil {
+		snap = engine.NewSnapshot(net_)
+	}
+	exportRound := func(round int) {
+		if snap == nil {
+			return
+		}
+		snap.Round = round
+		for b := range net_.BSs {
+			if resp := responses[b]; resp != nil {
+				copy(snap.RemCRU[b], resp.RemainingCRU)
+				snap.RemRRB[b] = resp.RemainingRRBs
+			}
+		}
+		for u, st := range ues {
+			snap.ServingBS[u] = st.servedBy
+		}
+		cc.RoundHook(snap)
+	}
+
 	work := make([]chan int, shards)
 	var barrier, workers sync.WaitGroup
 	for s := 0; s < shards; s++ {
@@ -282,11 +315,12 @@ func RunClusterWith(net_ *mec.Network, cc ClusterConfig) (res ClusterResult, err
 				rec.Event(obs.KindCloudFallback, round, u, int(mec.CloudBS))
 				continue
 			}
-			rec.Event(obs.KindPropose, round, u, int(bsID))
+			rec.EventShard(int(bsID)%shards, obs.KindPropose, round, u, int(bsID))
 			batches[bsID] = append(batches[bsID], req)
 			anyRequest = true
 		}
 		if !anyRequest {
+			exportRound(round)
 			if rec != nil {
 				rec.RoundLatency(time.Since(roundStart).Seconds())
 			}
@@ -321,19 +355,19 @@ func RunClusterWith(net_ *mec.Network, cc ClusterConfig) (res ClusterResult, err
 			for _, v := range resp.Verdicts {
 				st := ues[v.UE]
 				if v.Accepted {
-					rec.Event(obs.KindAccept, round, int(v.UE), b)
+					rec.EventShard(b%shards, obs.KindAccept, round, int(v.UE), b)
 					st.assigned = true
 					st.servedBy = mec.BSID(b)
 				} else if v.Permanent {
-					rec.Event(obs.KindRejectPermanent, round, int(v.UE), b)
+					rec.EventShard(b%shards, obs.KindRejectPermanent, round, int(v.UE), b)
 					// A trimmed-but-still-feasible request keeps the BS
 					// as a candidate and may retry next round.
 					prop.DropBS(v.UE, mec.BSID(b))
 				} else {
-					rec.Event(obs.KindRejectTrim, round, int(v.UE), b)
+					rec.EventShard(b%shards, obs.KindRejectTrim, round, int(v.UE), b)
 				}
 			}
-			rec.Event(obs.KindBroadcast, round, -1, b)
+			rec.EventShard(b%shards, obs.KindBroadcast, round, -1, b)
 			// Apply the resource broadcast to every covered UE's view and
 			// invalidate cached Eq. 17 scores against this BS.
 			views.ApplyBroadcast(mec.BSID(b), resp.RemainingCRU, resp.RemainingRRBs, views.Covered(mec.BSID(b)))
@@ -345,6 +379,7 @@ func RunClusterWith(net_ *mec.Network, cc ClusterConfig) (res ClusterResult, err
 				rec.Residual(b, crus, resp.RemainingRRBs)
 			}
 		}
+		exportRound(round)
 		if rec != nil {
 			unmatched := 0
 			for _, st := range ues {

@@ -469,11 +469,23 @@ func Load(path string) (Config, error) {
 	if err != nil {
 		return Config{}, fmt.Errorf("workload: read config: %w", err)
 	}
+	c, err := Parse(data)
+	if err != nil {
+		return Config{}, fmt.Errorf("workload: parse config %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Parse decodes and validates a configuration from raw JSON — the same
+// format Save writes, also embedded in trace manifests (obs.Manifest's
+// Scenario field) so tools can rebuild the exact network a trace ran
+// over. Unknown fields are rejected like Load.
+func Parse(data []byte) (Config, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	var c Config
 	if err := dec.Decode(&c); err != nil {
-		return Config{}, fmt.Errorf("workload: parse config %s: %w", path, err)
+		return Config{}, err
 	}
 	if err := c.Validate(); err != nil {
 		return Config{}, err

@@ -5,7 +5,8 @@
 # benchmark argument, every hot-path gate runs: the batch solver
 # (BenchmarkAllocate), the dynamic session (BenchmarkSession), the
 # spec-driven workload engine (BenchmarkDynamicSession, per arrival
-# process), and the TCP cluster (BenchmarkCluster).
+# process), the trace-replay debugger (BenchmarkReplay), and the TCP
+# cluster (BenchmarkCluster).
 #
 # Usage:
 #   scripts/benchdiff.sh                           both default gates, +20% budget
@@ -19,7 +20,7 @@ max_regress=${2:-0.20}
 if [ $# -ge 1 ]; then
 	exec go run ./cmd/benchdiff -file BENCH_exp.json -bench "$1" -max-regress "$max_regress"
 fi
-for bench in BenchmarkAllocate BenchmarkSession BenchmarkDynamicSession; do
+for bench in BenchmarkAllocate BenchmarkSession BenchmarkDynamicSession BenchmarkReplay; do
 	go run ./cmd/benchdiff -file BENCH_exp.json -bench "$bench" -max-regress "$max_regress"
 done
 # The cluster gate gets a wider budget: its runs open hundreds of loopback

@@ -14,6 +14,7 @@
 #   scripts/check.sh wire-guard        only the wire deadline grep guard
 #   scripts/check.sh wire-shards       only the race-enabled wire suite at several shard counts
 #   scripts/check.sh workload-specs    only the example-spec validation + online spec smoke
+#   scripts/check.sh replay-parity     only the race-enabled trace-replay parity gate
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -87,6 +88,15 @@ workload_specs() {
 	done
 }
 
+replay_parity() {
+	# The time-travel debugger's foundation: state reconstructed from a
+	# JSONL trace must equal the live engine state at every round barrier,
+	# for all three runtimes at several shard counts. Race-enabled because
+	# the wire runtime's round hook runs against live shard goroutines.
+	go test -race -count=1 -run 'TestReplayParity|TestDiffAcrossRuntimes' ./internal/replay/
+	echo "replay parity: reconstructed state matches live engine state across alloc, protocol and wire"
+}
+
 obs_determinism() {
 	# Run one figure twice — plain, and with the full observability stack
 	# (ephemeral debug server + JSONL trace + instrumented grid) — and
@@ -127,6 +137,10 @@ workload-specs)
 	workload_specs
 	exit 0
 	;;
+replay-parity)
+	replay_parity
+	exit 0
+	;;
 esac
 
 go vet ./...
@@ -136,6 +150,7 @@ go vet ./...
 go test -race ./internal/engine/
 go test -race ./...
 wire_shards
+replay_parity
 bench_smoke
 workload_specs
 obs_determinism
