@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-baseline
+.PHONY: build test race vet check bench bench-baseline bench-1m
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,16 @@ bench:
 
 # bench-baseline appends only the baseline lines (no benchmark table)
 # to BENCH_exp.json.
+# bench-1m is the million-UE gate: the densecity-1M match and the 24k-BS
+# scenario build (both skipped under -short everywhere else), then the
+# BenchmarkAllocate1M baseline line appended to BENCH_exp.json for
+# cross-PR comparison via benchdiff. Expect ~2 s per match and ~3 s per
+# build on one core; the whole target stays under two minutes.
+bench-1m:
+	$(GO) test ./internal/alloc/ -bench 'BenchmarkAllocate$$/densecity-1M' -benchmem -benchtime 2x -run '^$$' -timeout 60m
+	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$/24kbs-1Mue' -benchmem -benchtime 2x -run '^$$' -timeout 60m
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAlloc1MBenchBaseline -v -timeout 60m
+
 bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAllocBenchBaseline -v

@@ -1,9 +1,10 @@
 // Benchdiff compares the last two records of one benchmark in a
 // BENCH_exp.json history (JSONL, one record per `make bench` run) and
-// fails when ns/op regressed beyond a threshold. It understands both
-// record shapes the repo writes: flat records with a single *_ns_op
-// number, and per-case records ({"cases": {name: {"ns_op": ...}}}),
-// where every case is compared independently.
+// fails when ns/op — or allocs/op, for per-case records that carry it —
+// regressed beyond a threshold. It understands both record shapes the
+// repo writes: flat records with a single *_ns_op number, and per-case
+// records ({"cases": {name: {"ns_op": ..., "allocs_op": ...}}}), where
+// every case is compared independently.
 //
 // Usage:
 //
@@ -43,7 +44,7 @@ func main() {
 			fatal("parse %s: %v", *file, err)
 		}
 		name, _ := rec["benchmark"].(string)
-		if len(name) >= len(*bench) && name[:len(*bench)] == *bench {
+		if matchesBench(name, *bench) {
 			matches = append(matches, rec)
 		}
 	}
@@ -68,8 +69,25 @@ func main() {
 		fmt.Printf("%-32s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			pair.name, pair.prev, pair.cur, 100*delta, status)
 	}
+	// Allocation counts gate on an absolute slack of 2 on top of the
+	// relative threshold: the hot paths pin 0 allocs/op, and 0 -> 1 is
+	// exactly the pooling regression this exists to catch, while tiny
+	// nonzero counts should not fail on one incidental allocation.
+	for _, pair := range allocSeries(prev, cur) {
+		slack := pair.prev * *maxRegress
+		if slack < 2 {
+			slack = 2
+		}
+		status := "ok"
+		if pair.cur > pair.prev+slack {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-32s %12.0f -> %12.0f allocs/op  %s\n",
+			pair.name+" (allocs)", pair.prev, pair.cur, status)
+	}
 	if failed {
-		fatal("ns/op regressed more than %.0f%%", 100**maxRegress)
+		fatal("ns/op or allocs/op regressed beyond the threshold")
 	}
 }
 
@@ -101,6 +119,41 @@ func comparableSeries(prev, cur map[string]any) []series {
 		c, cok := cur[key].(float64)
 		if pok && cok && p > 0 {
 			out = append(out, series{name: key, prev: p, cur: c})
+		}
+	}
+	return out
+}
+
+// matchesBench reports whether a record name belongs to the requested
+// benchmark: an exact match, or a prefix ending at a word boundary
+// (e.g. "BenchmarkFigureRun (fig2, ...)"). The boundary check keeps
+// sibling series apart — "BenchmarkAllocate" must not swallow
+// "BenchmarkAllocate1M" records, which time a different workload.
+func matchesBench(name, bench string) bool {
+	if len(name) < len(bench) || name[:len(bench)] != bench {
+		return false
+	}
+	if len(name) == len(bench) {
+		return true
+	}
+	next := name[len(bench)]
+	return !('a' <= next && next <= 'z' || 'A' <= next && next <= 'Z' || '0' <= next && next <= '9')
+}
+
+// allocSeries extracts every allocs_op series present in both records'
+// cases. Unlike ns/op, a case missing allocs_op (older records predate
+// the field) is silently skipped rather than treated as zero.
+func allocSeries(prev, cur map[string]any) []series {
+	var out []series
+	pc, _ := prev["cases"].(map[string]any)
+	cc, _ := cur["cases"].(map[string]any)
+	for name, pv := range pc {
+		pcase, _ := pv.(map[string]any)
+		ccase, _ := cc[name].(map[string]any)
+		p, pok := pcase["allocs_op"].(float64)
+		c, cok := ccase["allocs_op"].(float64)
+		if pok && cok {
+			out = append(out, series{name: name, prev: p, cur: c})
 		}
 	}
 	return out

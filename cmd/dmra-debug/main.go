@@ -136,7 +136,7 @@ func runState(args []string) error {
 		cap, rem := 0, 0
 		for j, c := range net.BSs[b].CRUCapacity {
 			cap += c
-			rem += snap.RemCRU[b][j]
+			rem += snap.CRU(b, j)
 		}
 		fmt.Fprintf(w, "%d\t%s\t%d\t%d\t%d\t%d\t%d\t\n",
 			b, net.SPs[net.BSs[b].SP].Name,

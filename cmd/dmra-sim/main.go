@@ -12,6 +12,9 @@
 //	-iota 2             cross-SP price factor
 //	-rho 250            DMRA resource-preference weight (Eq. 17)
 //	-scenario file      load a scenario JSON instead of defaults
+//	-dense              start from the dense-city hotspot scenario
+//	-scale 1            edge-scale the scenario at constant density (31 ≈ 1M UEs)
+//	-repeat 1           re-run the in-process match N times (profiling window)
 //	-decentralized      run DMRA as message exchange and report costs
 //	-tcp                run DMRA over real TCP sockets (one server per BS)
 //	-shards 0           coordinator shards for -tcp (0 = one per core)
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"dmra"
+	"dmra/internal/alloc"
 	"dmra/internal/cliobs"
 )
 
@@ -50,6 +54,9 @@ func run(args []string) error {
 		iota          = fs.Float64("iota", 2, "cross-SP price factor")
 		rho           = fs.Float64("rho", dmra.DefaultDMRAConfig().Rho, "DMRA rho (Eq. 17)")
 		scenarioPath  = fs.String("scenario", "", "scenario JSON file (overrides other scenario flags)")
+		dense         = fs.Bool("dense", false, "start from the dense-city hotspot scenario instead of the paper default")
+		scale         = fs.Int("scale", 1, "edge-scale the scenario at constant density (UEs grow with the square; 31 ≈ one million UEs)")
+		repeat        = fs.Int("repeat", 1, "re-run the in-process DMRA match N times against one reused engine (profiling window)")
 		decentralized = fs.Bool("decentralized", false, "run DMRA as message exchange on the event simulator")
 		tcp           = fs.Bool("tcp", false, "run DMRA over real TCP sockets (one server per BS)")
 		shards        = fs.Int("shards", 0, "coordinator shards for -tcp (0 = one per core; results are identical for any value)")
@@ -64,7 +71,17 @@ func run(args []string) error {
 		return err
 	}
 
+	if *repeat < 1 {
+		return fmt.Errorf("-repeat must be at least 1, got %d", *repeat)
+	}
+	if *repeat > 1 && (*decentralized || *tcp || *algo != "dmra") {
+		return fmt.Errorf("-repeat applies only to the in-process dmra solver")
+	}
+
 	scenario := dmra.DefaultScenario()
+	if *dense {
+		scenario = dmra.DenseCityScenario()
+	}
 	if *scenarioPath != "" {
 		loaded, err := dmra.LoadScenario(*scenarioPath)
 		if err != nil {
@@ -72,9 +89,17 @@ func run(args []string) error {
 		}
 		scenario = loaded
 	} else {
-		scenario.UEs = *ues
+		// -ues overrides the scenario population only when given (or in
+		// the classic flat invocation, where it always did): the dense
+		// and scaled scenarios carry their own calibrated populations.
+		uesSet := false
+		fs.Visit(func(f *flag.Flag) { uesSet = uesSet || f.Name == "ues" })
+		if uesSet || (!*dense && *scale <= 1) {
+			scenario.UEs = *ues
+		}
 		scenario.Placement = dmra.Placement(*placement)
 		scenario.Pricing.CrossSPFactor = *iota
+		scenario = scenario.Scale(*scale)
 	}
 
 	net, err := dmra.BuildNetwork(scenario, *seed)
@@ -114,7 +139,7 @@ func run(args []string) error {
 		if *algo == "dmra" {
 			cfg := dmra.DefaultDMRAConfig()
 			cfg.Rho = *rho
-			res, err = dmra.AllocateDMRAObserved(net, cfg, obsRT.Rec)
+			res, err = runSolver(net, cfg, *repeat, obsRT.Rec)
 		} else {
 			res, err = dmra.Allocate(net, *algo)
 		}
@@ -126,6 +151,27 @@ func run(args []string) error {
 		return err
 	}
 	return obsRT.Close()
+}
+
+// runSolver drives the in-process DMRA match -repeat times against one
+// reused engine instance, so a profiling session (`-repeat 50 -obs-addr
+// ... -dense -scale 31`, then `go tool pprof .../debug/pprof/profile`)
+// watches the steady-state round loop — arena reuse, zero allocations —
+// rather than first-run setup. The result is identical for every
+// iteration; the last one is reported.
+func runSolver(net *dmra.Network, cfg dmra.DMRAConfig, repeat int, rec *dmra.ObsRecorder) (dmra.Result, error) {
+	d := alloc.NewDMRA(cfg).WithObserver(rec)
+	var res alloc.Result
+	for i := 0; i < repeat; i++ {
+		if err := d.AllocateInto(net, &res); err != nil {
+			return dmra.Result{}, err
+		}
+	}
+	return dmra.Result{
+		Assignment: res.Assignment,
+		Profit:     dmra.Profit(net, res.Assignment),
+		Stats:      res.Stats,
+	}, nil
 }
 
 func runDecentralized(net *dmra.Network, rho float64, rec *dmra.ObsRecorder) error {

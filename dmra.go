@@ -93,6 +93,14 @@ func DefaultScenario() Scenario {
 	return workload.Default()
 }
 
+// DenseCityScenario returns the rush-hour hotspot scenario of
+// examples/densecity: 90% of the UEs clustered in three tight hotspots,
+// Zipf service popularity. Scenario.Scale grows it at constant density
+// — DenseCityScenario().Scale(31) is the million-UE benchmark rung.
+func DenseCityScenario() Scenario {
+	return workload.DenseCity()
+}
+
 // LoadScenario reads a scenario JSON file written by SaveScenario.
 func LoadScenario(path string) (Scenario, error) {
 	return workload.Load(path)

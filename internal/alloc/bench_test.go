@@ -22,21 +22,35 @@ func benchScenarios() []struct {
 	sparse.UEs = 300
 	def := workload.Default()
 	def.UEs = 900
-	dense := workload.Default()
-	dense.UEs = 1100
-	dense.UEDist = workload.UEHotspot
-	dense.HotspotCount = 3
-	dense.HotspotSigmaM = 100
-	dense.HotspotFraction = 0.9
-	dense.ServiceDist = workload.ServiceZipf
-	dense.ZipfS = 1.1
 	return []struct {
 		name string
 		cfg  workload.Config
 	}{
 		{"sparse-300ue", sparse},
 		{"default-900ue", def},
-		{"densecity-1100ue", dense},
+		{"densecity-1100ue", workload.DenseCity()},
+	}
+}
+
+// benchScaledScenarios are the constant-density dense-city rungs for
+// the SoA arena engine: the 100k mid-rung and the million-UE headline
+// case. Scale factors are edge multipliers (UE count grows with the
+// square): ×10 is 110,000 UEs over 2,500 BSs, ×31 is 1,057,100 UEs over
+// 24,025 BSs, both at the base scenario's local density. The 1M rung is
+// skipped under -short so check.sh's bench smoke stays fast; run it via
+// `make bench-1m`.
+func benchScaledScenarios() []struct {
+	name  string
+	scale int
+	short bool
+} {
+	return []struct {
+		name  string
+		scale int
+		short bool
+	}{
+		{"densecity-100k", 10, false},
+		{"densecity-1M", 31, true},
 	}
 }
 
@@ -71,6 +85,17 @@ func BenchmarkAllocate(b *testing.B) {
 	for _, sc := range benchScenarios() {
 		net := benchNet(b, sc.cfg)
 		b.Run(sc.name, func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()), net)
+		})
+	}
+	for _, sc := range benchScaledScenarios() {
+		b.Run(sc.name, func(b *testing.B) {
+			if sc.short && testing.Short() {
+				b.Skipf("%s skipped under -short (run via make bench-1m)", sc.name)
+			}
+			// Built inside the sub-benchmark (untimed: benchAllocate resets
+			// the timer) so filtered and -short runs never pay for it.
+			net := benchNet(b, workload.DenseCity().Scale(sc.scale))
 			benchAllocate(b, NewDMRA(DefaultDMRAConfig()), net)
 		})
 	}
@@ -111,6 +136,24 @@ func TestWriteAllocBenchBaseline(t *testing.T) {
 			"allocs_op":   cached.AllocsPerOp(),
 		}
 	}
+	// The 100k rung compares the SoA arena engine against the legacy
+	// cached engine instead of the naive reference (which would need
+	// minutes per iteration at this population).
+	{
+		net := benchNet(t, workload.DenseCity().Scale(10))
+		soa := testing.Benchmark(func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()), net)
+		})
+		legacy := testing.Benchmark(func(b *testing.B) {
+			benchAllocate(b, NewDMRA(DefaultDMRAConfig()).ForceLegacy(), net)
+		})
+		cases["densecity-100k"] = map[string]any{
+			"ns_op":        soa.NsPerOp(),
+			"legacy_ns_op": legacy.NsPerOp(),
+			"speedup":      float64(legacy.NsPerOp()) / float64(soa.NsPerOp()),
+			"allocs_op":    soa.AllocsPerOp(),
+		}
+	}
 	baseline := map[string]any{
 		"time":       time.Now().UTC().Format(time.RFC3339),
 		"benchmark":  "BenchmarkAllocate",
@@ -130,4 +173,56 @@ func TestWriteAllocBenchBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("appended BenchmarkAllocate baseline to %s", path)
+}
+
+// TestWriteAlloc1MBenchBaseline appends the million-UE record — full
+// scenario construction and the steady-state match, ns/op and allocs/op
+// — as a "BenchmarkAllocate1M" line to the file named by BENCH_BASELINE
+// (skipped when unset). It is deliberately not part of `make bench`:
+// one build-plus-match cycle costs several seconds, so it has its own
+// target, `make bench-1m`, and its own benchdiff series.
+func TestWriteAlloc1MBenchBaseline(t *testing.T) {
+	path := os.Getenv("BENCH_BASELINE")
+	if path == "" {
+		t.Skip("BENCH_BASELINE not set")
+	}
+	cfg := workload.DenseCity().Scale(31)
+	build := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Build(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	net := benchNet(t, cfg)
+	soa := testing.Benchmark(func(b *testing.B) {
+		benchAllocate(b, NewDMRA(DefaultDMRAConfig()), net)
+	})
+	baseline := map[string]any{
+		"time":       time.Now().UTC().Format(time.RFC3339),
+		"benchmark":  "BenchmarkAllocate1M",
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"cases": map[string]any{
+			"densecity-1M": map[string]any{
+				"ns_op":       soa.NsPerOp(),
+				"build_ns_op": build.NsPerOp(),
+				"allocs_op":   soa.AllocsPerOp(),
+				"ues":         cfg.UEs,
+				"bss":         cfg.SPs * cfg.BSsPerSP,
+			},
+		},
+	}
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("appended BenchmarkAllocate1M baseline to %s", path)
 }

@@ -37,6 +37,13 @@ type DMRA struct {
 	// proposal, fresh buffers every round); the differential fuzz target
 	// pins the fast path against it.
 	naive bool
+	// legacy forces the pointer-based cached engine even when the network
+	// has a dense SoA view; the SoA differential fuzz target pins the
+	// arena engine against it.
+	legacy bool
+	// workers is the SoA propose-phase worker count; 0 means GOMAXPROCS.
+	// Results are byte-identical at any value.
+	workers int
 	// pool recycles runState across Allocate calls. Experiment drivers
 	// share one allocator instance across worker goroutines, so the
 	// scratch must be pooled, not a struct field.
@@ -73,6 +80,9 @@ type runState struct {
 	state *mec.State
 	prop  *engine.Proposer
 	led   stateLedger
+	// arena is the struct-of-arrays engine state, used instead of the
+	// fields below whenever the network has a dense candidate view.
+	arena *engine.Arena
 	// inbox[b] collects the requests BS b received this iteration.
 	inbox [][]engine.Request
 	// sel is the select-phase scratch shared across this run's BSs.
@@ -101,6 +111,16 @@ func NewDMRA(cfg DMRAConfig) *DMRA {
 // one pointer test.
 func (d *DMRA) WithObserver(rec *obs.Recorder) *DMRA {
 	d.obs = rec
+	return d
+}
+
+// WithProposeWorkers sets the SoA engine's propose-phase worker count
+// and returns the allocator for chaining. Zero (the default) means
+// GOMAXPROCS. The assignment, statistics, and event stream are
+// byte-identical at any worker count; the knob only trades wall-clock
+// for cores.
+func (d *DMRA) WithProposeWorkers(n int) *DMRA {
+	d.workers = n
 	return d
 }
 
@@ -142,6 +162,14 @@ func (d *DMRA) Allocate(net *mec.Network) (Result, error) {
 func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 	if d.naive {
 		return d.allocateNaive(net, res)
+	}
+	// The SoA arena engine is the default whenever the network carries a
+	// dense candidate view (NewNetwork-built, fits int32 indices) and rho
+	// is non-negative (the lazy-heap exactness precondition). SubView
+	// networks — whose candidate lists change across Refresh — and
+	// negative-rho ablations take the pointer-based engine below.
+	if !d.legacy && d.cfg.Rho >= 0 && net.Dense() != nil {
+		return d.allocateSoA(net, res)
 	}
 	rs, _ := d.pool.Get().(*runState)
 	if rs == nil {
@@ -271,6 +299,89 @@ func (d *DMRA) AllocateInto(net *mec.Network, res *Result) error {
 	res.Assignment = rs.state.SnapshotInto(res.Assignment)
 	res.Stats = stats
 	return nil
+}
+
+// allocateSoA runs Alg. 1 through the struct-of-arrays arena engine:
+// flat candidate heaps, a dense ledger, arena storage reused across
+// Allocate calls via the same pool as the legacy scratch, and an
+// optionally parallel propose phase. With a nil observer and hook the
+// run performs zero steady-state heap allocations; with them attached
+// it reproduces the exact event and snapshot streams of the legacy
+// driver (the SoA parity fuzz pins both).
+func (d *DMRA) allocateSoA(net *mec.Network, res *Result) error {
+	rs, _ := d.pool.Get().(*runState)
+	if rs == nil {
+		rs = &runState{state: &mec.State{}, prop: &engine.Proposer{}}
+	}
+	defer d.pool.Put(rs)
+	if rs.arena == nil {
+		rs.arena = &engine.Arena{}
+	}
+	a := rs.arena
+
+	var hooks *engine.SoAHooks
+	if d.obs != nil || d.hook != nil {
+		hooks = &engine.SoAHooks{Snapshot: d.hook}
+		if d.obs != nil {
+			round := 0
+			var lastScanned, lastRescored uint64
+			hooks.Round = func(r int) {
+				round = r
+				d.obs.Event(obs.KindRound, r, -1, -1)
+			}
+			hooks.Propose = func(u, b int32) {
+				d.obs.Event(obs.KindPropose, round, int(u), int(b))
+			}
+			hooks.Cloud = func(u int32) {
+				d.obs.Event(obs.KindCloudFallback, round, int(u), int(mec.CloudBS))
+			}
+			hooks.Verdict = func(b int32, v engine.Verdict) {
+				if v.Accepted {
+					d.obs.Event(obs.KindAccept, round, int(v.Req.UE), int(b))
+				} else {
+					d.obs.Event(obs.KindRejectTrim, round, int(v.Req.UE), int(b))
+				}
+			}
+			hooks.RoundDone = func(int) {
+				d.observeArenaRound(a)
+				scanned, rescored := a.CacheStats()
+				d.obs.PrefCacheRound(int64(scanned-lastScanned), int64(rescored-lastRescored))
+				lastScanned, lastRescored = scanned, rescored
+			}
+		}
+	}
+
+	stats, err := a.Run(net, d.cfg, d.workers, hooks)
+	if err != nil {
+		return fmt.Errorf("alloc: DMRA: %w", err)
+	}
+	serving := a.Serving()
+	if cap(res.Assignment.ServingBS) < len(serving) {
+		res.Assignment.ServingBS = make([]mec.BSID, len(serving))
+	}
+	res.Assignment.ServingBS = res.Assignment.ServingBS[:len(serving)]
+	for u, b := range serving {
+		res.Assignment.ServingBS[u] = mec.BSID(b)
+	}
+	res.Stats = Stats{
+		Iterations: stats.Rounds,
+		Proposals:  stats.Proposals,
+		Accepts:    stats.Accepts,
+		Rejects:    stats.Rejects,
+	}
+	return nil
+}
+
+// observeArenaRound is observeRound over the arena's dense ledger.
+func (d *DMRA) observeArenaRound(a *engine.Arena) {
+	for b := 0; b < a.BSs(); b++ {
+		crus := 0
+		for j := 0; j < a.Services(); j++ {
+			crus += a.RemCRU(b, j)
+		}
+		d.obs.Residual(b, crus, a.RemRRB(b))
+	}
+	d.obs.Unmatched(a.UEs() - a.AssignedCount())
 }
 
 // applyVerdicts folds one BS's round verdicts into the run statistics and

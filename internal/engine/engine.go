@@ -56,9 +56,17 @@ func DefaultConfig() Config {
 // infinitely unattractive. Every runtime routes its decisions through this
 // one function, which is what makes their outputs identical.
 func (c Config) Preference(l mec.Link, remCRU, remRRBs int) float64 {
-	denom := float64(remCRU + remRRBs)
+	return c.preference(l.PricePerCRU, remCRU+remRRBs)
+}
+
+// preference is Preference over pre-flattened fields: the link price and
+// the already-summed residual denominator. The SoA engine calls it with
+// raw CSR values; keeping one body guarantees bit-identical floats on
+// both paths.
+func (c Config) preference(price float64, rem int) float64 {
+	denom := float64(rem)
 	if denom <= 0 {
 		return math.Inf(1)
 	}
-	return l.PricePerCRU + c.Rho/denom
+	return price + c.Rho/denom
 }

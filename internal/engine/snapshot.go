@@ -12,11 +12,19 @@ import (
 // debugger — drivers export one per round through a RoundHook, and
 // internal/replay reconstructs the same struct from a JSONL trace, so
 // "reconstructed ≡ live" is a plain Equal call.
+//
+// The residuals are stored dense: one Services-strided array for the
+// whole network, matching the SoA ledger layout, so capturing from an
+// arena is a flat copy and replaying a million-UE trace touches two
+// arrays instead of one heap-allocated row per BS.
 type Snapshot struct {
 	// Round is the 1-based round the state was captured after.
 	Round int
-	// RemCRU[b][j] is BS b's remaining CRUs for service j.
-	RemCRU [][]int
+	// Services is the stride of RemCRU.
+	Services int
+	// RemCRU[b*Services+j] is BS b's remaining CRUs for service j; use
+	// CRU/CRURow for indexed access.
+	RemCRU []int
 	// RemRRB[b] is BS b's remaining radio blocks.
 	RemRRB []int
 	// ServingBS[u] is the BS serving UE u, or mec.CloudBS.
@@ -27,18 +35,28 @@ type Snapshot struct {
 // every UE unserved.
 func NewSnapshot(net *mec.Network) *Snapshot {
 	s := &Snapshot{
-		RemCRU:    make([][]int, len(net.BSs)),
+		Services:  net.Services,
+		RemCRU:    make([]int, len(net.BSs)*net.Services),
 		RemRRB:    make([]int, len(net.BSs)),
 		ServingBS: make([]mec.BSID, len(net.UEs)),
 	}
 	for b := range net.BSs {
-		s.RemCRU[b] = append([]int(nil), net.BSs[b].CRUCapacity...)
+		copy(s.CRURow(b), net.BSs[b].CRUCapacity)
 		s.RemRRB[b] = net.BSs[b].MaxRRBs
 	}
 	for u := range s.ServingBS {
 		s.ServingBS[u] = mec.CloudBS
 	}
 	return s
+}
+
+// CRU returns BS b's remaining CRUs for service j.
+func (s *Snapshot) CRU(b, j int) int { return s.RemCRU[b*s.Services+j] }
+
+// CRURow returns BS b's residual-CRU row (one entry per service),
+// aliasing the snapshot's storage.
+func (s *Snapshot) CRURow(b int) []int {
+	return s.RemCRU[b*s.Services : (b+1)*s.Services]
 }
 
 // CaptureState fills the snapshot from a live shared ledger (the
@@ -48,8 +66,9 @@ func (s *Snapshot) CaptureState(st *mec.State, round int) {
 	net := st.Network()
 	s.Round = round
 	for b := range net.BSs {
-		for j := 0; j < net.Services; j++ {
-			s.RemCRU[b][j] = st.RemainingCRU(mec.BSID(b), mec.ServiceID(j))
+		row := s.CRURow(b)
+		for j := range row {
+			row[j] = st.RemainingCRU(mec.BSID(b), mec.ServiceID(j))
 		}
 		s.RemRRB[b] = st.RemainingRRBs(mec.BSID(b))
 	}
@@ -58,19 +77,32 @@ func (s *Snapshot) CaptureState(st *mec.State, round int) {
 	}
 }
 
+// CaptureArena fills the snapshot from a live SoA arena. Both sides are
+// dense with the same stride, so the residual copy is two flat array
+// walks — no per-BS rows or maps are materialized.
+func (s *Snapshot) CaptureArena(a *Arena, round int) {
+	s.Round = round
+	for i, rem := range a.remCRU {
+		s.RemCRU[i] = int(rem)
+	}
+	for b, rem := range a.remRRB {
+		s.RemRRB[b] = int(rem)
+	}
+	for u := range s.ServingBS {
+		s.ServingBS[u] = mec.BSID(a.serving[u])
+	}
+}
+
 // Clone returns a deep copy, for hooks that retain per-round state past
 // the hook invocation (the snapshot passed to a RoundHook is reused).
 func (s *Snapshot) Clone() *Snapshot {
-	c := &Snapshot{
+	return &Snapshot{
 		Round:     s.Round,
-		RemCRU:    make([][]int, len(s.RemCRU)),
+		Services:  s.Services,
+		RemCRU:    append([]int(nil), s.RemCRU...),
 		RemRRB:    append([]int(nil), s.RemRRB...),
 		ServingBS: append([]mec.BSID(nil), s.ServingBS...),
 	}
-	for b := range s.RemCRU {
-		c.RemCRU[b] = append([]int(nil), s.RemCRU[b]...)
-	}
-	return c
 }
 
 // Equal reports whether two snapshots describe the same state (round
@@ -93,17 +125,16 @@ func (s *Snapshot) Diff(o *Snapshot) []string {
 	if s.Round != o.Round {
 		d = append(d, fmt.Sprintf("round: a=%d b=%d", s.Round, o.Round))
 	}
+	if s.Services != o.Services {
+		return append(d, fmt.Sprintf("service count: a=%d b=%d", s.Services, o.Services))
+	}
 	if len(s.RemRRB) != len(o.RemRRB) || len(s.RemCRU) != len(o.RemCRU) {
 		return append(d, fmt.Sprintf("BS count: a=%d b=%d", len(s.RemRRB), len(o.RemRRB)))
 	}
 	for b := range s.RemRRB {
-		if len(s.RemCRU[b]) != len(o.RemCRU[b]) {
-			d = append(d, fmt.Sprintf("BS %d: service count a=%d b=%d", b, len(s.RemCRU[b]), len(o.RemCRU[b])))
-			continue
-		}
-		for j := range s.RemCRU[b] {
-			if s.RemCRU[b][j] != o.RemCRU[b][j] {
-				d = append(d, fmt.Sprintf("BS %d service %d remaining CRUs: a=%d b=%d", b, j, s.RemCRU[b][j], o.RemCRU[b][j]))
+		for j := 0; j < s.Services; j++ {
+			if s.CRU(b, j) != o.CRU(b, j) {
+				d = append(d, fmt.Sprintf("BS %d service %d remaining CRUs: a=%d b=%d", b, j, s.CRU(b, j), o.CRU(b, j)))
 			}
 		}
 		if s.RemRRB[b] != o.RemRRB[b] {

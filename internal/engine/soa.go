@@ -1,0 +1,694 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dmra/internal/mec"
+)
+
+// This file is the struct-of-arrays round engine: the same Alg. 1 state
+// machine as Proposer/PrefScorer/SelectRound, re-laid-out for the
+// million-UE regime. The per-UE candidate heaps, the BS ledger, and every
+// round buffer live in a handful of flat arrays inside an Arena that is
+// reset — not reallocated — across runs, so a steady-state run performs
+// zero heap allocations and walks memory sequentially instead of chasing
+// a pointer per UE and another per candidate list.
+//
+// The propose phase optionally fans across workers. That is safe and
+// exactly deterministic because of how Alg. 1 rounds are structured:
+//
+//   - Propose only READS the residual ledger (ver/remCRU/remRRB); the
+//     select phase, which runs strictly after all workers join, is the
+//     only writer. Workers score against an immutable snapshot by
+//     construction.
+//   - All per-UE mutable state (the lazy heap region, hlen) is touched
+//     only by the worker that owns the UE, and workers own contiguous
+//     chunks of the pending list.
+//   - Each worker writes proposals into its own chunk of the proposal
+//     buffer; the serial merge concatenates the chunks in worker order,
+//     which — because the pending list is ascending and chunks are
+//     contiguous — is exactly the order a serial sweep would have
+//     produced.
+//
+// Assignments, statistics, cache counters, and the ordered event stream
+// are therefore byte-identical at any worker count, the same determinism
+// contract the wire coordinator proves for shards.
+
+// staleVer32 marks a heap entry that has never been scored. Arena
+// versions count admissions from zero, so they can never reach it.
+const staleVer32 = ^uint32(0)
+
+// soaProposal is one UE's proposal of a round: the proposing UE and the
+// global candidate index (into the CSR arrays) of the link it chose.
+type soaProposal struct {
+	ue int32
+	g  int32
+}
+
+// SoAHooks are the optional observation points of an Arena run. A nil
+// hooks pointer (or nil fields) keeps the run allocation- and
+// branch-free on the hot path. All hooks run on the caller's goroutine,
+// in deterministic order: Round, then Propose/Cloud in ascending UE
+// order over the whole unassigned population, then Verdict in BS order
+// (verdict order within a BS), then Snapshot, then RoundDone.
+type SoAHooks struct {
+	// Round fires at the top of each round (1-based).
+	Round func(round int)
+	// Propose fires for each proposing UE, in ascending UE order.
+	Propose func(u, b int32)
+	// Cloud fires for each unassigned UE with no viable candidate left,
+	// interleaved with Propose in the same ascending-UE sweep.
+	Cloud func(u int32)
+	// Verdict fires for every select decision, BSs in ascending order.
+	Verdict func(b int32, v Verdict)
+	// Snapshot receives the full matching state after each round's
+	// select phase (and once more after the final, empty round). The
+	// snapshot is reused across calls; Clone to retain.
+	Snapshot RoundHook
+	// RoundDone fires after Snapshot on every round that had proposals.
+	RoundDone func(round int)
+}
+
+// SoAStats are the run counters of an Arena run, matching the meaning of
+// the legacy driver's statistics exactly.
+type SoAStats struct {
+	Rounds    int
+	Proposals int
+	Accepts   int
+	Rejects   int
+}
+
+// Arena is the reusable state of a struct-of-arrays DMRA run. The zero
+// value is ready to use; Run resets and right-sizes every buffer,
+// reusing backing storage across runs and epochs so pooled drivers
+// stay allocation-free. An Arena belongs to one run at a time; it is
+// not safe for concurrent use (its propose workers are internal).
+type Arena struct {
+	csr *mec.CSR
+	cfg Config
+
+	// Dense ledger, addressed by BS index: remCRU is Services-strided
+	// like CSR.CRUCap; ver counts admissions per BS and versions the
+	// lazy heap entries.
+	remCRU []int32
+	remRRB []int32
+	ver    []uint32
+
+	// serving[u] is the admitting BS or -1 (mec.CloudBS); assigned is
+	// the same fact as a bitset for the O(1) membership tests in the
+	// propose and event sweeps.
+	serving  []int32
+	assigned Bitset
+
+	// Flat lazy min-heaps, one region per UE at csr.Off[u]: hv/hver/hk
+	// are the prefEntry fields of pref.go in parallel arrays, hlen[u]
+	// is the live heap size. Infeasible candidates surface at the top
+	// and are swap-removed immediately, so no tombstone set is needed.
+	// Unobserved runs (scan == true) use only hk/hlen, as an unordered
+	// alive-candidate list per UE.
+	hv   []float64
+	hver []uint32
+	hk   []int32
+	hlen []int32
+	scan bool
+
+	// pending holds the UEs that can still propose, ascending; each
+	// round it compacts to the UEs that proposed (exactly the legacy
+	// driver's pending-list discipline).
+	pending []int32
+	// props collects the round's proposals: workers fill disjoint
+	// chunks, the merge compacts them to props[:nprops] in UE order.
+	props  []soaProposal
+	nprops int
+
+	// Per-worker outputs: proposal counts and cache counters, summed
+	// serially after the join so totals are worker-count independent.
+	wcnt  []int32
+	wscan []uint64
+	wresc []uint64
+	wg    sync.WaitGroup
+
+	// Select-phase scratch: counting-sort of proposals by BS (bsCnt,
+	// bsOff cursor, sorted) and the per-BS request batch.
+	bsCnt  []int32
+	bsOff  []int32
+	sorted []soaProposal
+	reqs   []Request
+	sel    SelectScratch
+	led    arenaLedger
+
+	// Invariant-recount scratch.
+	invCRU []int32
+	invRRB []int32
+
+	snap              *Snapshot
+	scanned, rescored uint64
+}
+
+// grown returns s resized to n elements, reusing capacity when it
+// suffices. Contents are unspecified; callers overwrite.
+func grown[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Run executes Alg. 1 to quiescence over net's dense candidate view,
+// with the propose phase partitioned across workers (workers <= 0 means
+// GOMAXPROCS). The result is byte-identical at any worker count. It
+// requires a dense view (NewNetwork-built networks) and rho >= 0 — the
+// lazy-heap lower-bound argument of pref.go is what makes the flat
+// heaps exact, and negative rho breaks it; callers route those runs to
+// the legacy engine.
+func (a *Arena) Run(net *mec.Network, cfg Config, workers int, hooks *SoAHooks) (SoAStats, error) {
+	csr := net.Dense()
+	if csr == nil {
+		return SoAStats{}, fmt.Errorf("engine: Arena.Run: network has no dense candidate view")
+	}
+	if cfg.Rho < 0 {
+		return SoAStats{}, fmt.Errorf("engine: Arena.Run: rho %g < 0 needs the linear-rescan engine", cfg.Rho)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// With no hooks, nothing consumes per-event order or the cache
+	// counters, so propose can use the linear-scan path: the proposal —
+	// the (preference, candidate)-lex minimum over the currently
+	// feasible candidates — is identical by construction (see
+	// proposeUEScan), only the scanned/rescored accounting differs.
+	a.scan = hooks == nil
+	a.reset(csr, cfg)
+	var snapHook RoundHook
+	if hooks != nil && hooks.Snapshot != nil {
+		snapHook = hooks.Snapshot
+		a.snap = NewSnapshot(net)
+	}
+
+	var stats SoAStats
+	maxRounds := csr.Links() + 1 // engine.RoundBound over the dense view
+	for {
+		stats.Rounds++
+		if hooks != nil && hooks.Round != nil {
+			hooks.Round(stats.Rounds)
+		}
+		n := a.proposeRound(workers)
+		stats.Proposals += n
+		if hooks != nil && (hooks.Propose != nil || hooks.Cloud != nil) {
+			a.emitProposeEvents(hooks)
+		}
+		if n == 0 {
+			if snapHook != nil {
+				a.snap.CaptureArena(a, stats.Rounds)
+				snapHook(a.snap)
+			}
+			break
+		}
+		a.bucketByBS()
+		if err := a.selectAll(&stats, hooks); err != nil {
+			return stats, err
+		}
+		if snapHook != nil {
+			a.snap.CaptureArena(a, stats.Rounds)
+			snapHook(a.snap)
+		}
+		if hooks != nil && hooks.RoundDone != nil {
+			hooks.RoundDone(stats.Rounds)
+		}
+		if stats.Rounds > maxRounds {
+			return stats, fmt.Errorf("engine: Arena exceeded %d rounds", maxRounds)
+		}
+	}
+	if err := a.checkInvariants(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// reset rewinds the arena for a fresh run over csr, reusing storage.
+func (a *Arena) reset(csr *mec.CSR, cfg Config) {
+	a.csr = csr
+	a.cfg = cfg
+	a.led.a = a
+	a.scanned, a.rescored = 0, 0
+	a.nprops = 0
+	nUE, nBS, links := csr.UEs(), csr.BSs(), csr.Links()
+
+	a.remCRU = grown(a.remCRU, len(csr.CRUCap))
+	copy(a.remCRU, csr.CRUCap)
+	a.remRRB = grown(a.remRRB, nBS)
+	copy(a.remRRB, csr.MaxRRB)
+	a.ver = grown(a.ver, nBS)
+	clear(a.ver)
+
+	a.serving = grown(a.serving, nUE)
+	for i := range a.serving {
+		a.serving[i] = -1
+	}
+	a.assigned.Reset(nUE)
+
+	a.hk = grown(a.hk, links)
+	a.hlen = grown(a.hlen, nUE)
+	if !a.scan {
+		// The scan path never reads values or versions, so unobserved
+		// runs skip both the fill and (on first use) the allocation —
+		// at a million UEs that is ~90 MB of writes per run.
+		a.hv = grown(a.hv, links)
+		a.hver = grown(a.hver, links)
+		for i := range a.hv {
+			a.hv[i] = math.Inf(-1)
+		}
+		for i := range a.hver {
+			a.hver[i] = staleVer32
+		}
+	}
+	if cap(a.pending) < nUE {
+		a.pending = make([]int32, 0, nUE)
+	}
+	a.pending = a.pending[:0]
+	for u := 0; u < nUE; u++ {
+		lo, hi := csr.Off[u], csr.Off[u+1]
+		cnt := hi - lo
+		a.hlen[u] = cnt
+		// All-equal sentinel values in ascending k order form a valid
+		// heap, and staleVer32 forces a first-touch rescore — the same
+		// initial state as PrefScorer.Reset.
+		for k := int32(0); k < cnt; k++ {
+			a.hk[lo+k] = k
+		}
+		if cnt > 0 {
+			a.pending = append(a.pending, int32(u))
+		}
+	}
+
+	a.props = grown(a.props, nUE)
+	a.sorted = grown(a.sorted, nUE)
+	a.bsCnt = grown(a.bsCnt, nBS)
+	clear(a.bsCnt)
+	a.bsOff = grown(a.bsOff, nBS)
+}
+
+// proposeRound runs one propose phase over the pending list across the
+// given worker count, merges the per-worker proposal chunks in global UE
+// order, and compacts the pending list to this round's proposers. It
+// returns the number of proposals.
+func (a *Arena) proposeRound(workers int) int {
+	n := len(a.pending)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	a.wcnt = grown(a.wcnt, workers)
+	a.wscan = grown(a.wscan, workers)
+	a.wresc = grown(a.wresc, workers)
+	chunk := (n + workers - 1) / workers
+	if workers == 1 {
+		a.proposeWorker(0, 0, n)
+	} else {
+		a.wg.Add(workers - 1)
+		for w := 1; w < workers; w++ {
+			lo := min(w*chunk, n)
+			go a.proposeWorkerWG(w, lo, min(lo+chunk, n))
+		}
+		a.proposeWorker(0, 0, chunk)
+		a.wg.Wait()
+	}
+
+	out := 0
+	for w := 0; w < workers; w++ {
+		if c := int(a.wcnt[w]); c > 0 {
+			lo := w * chunk
+			if lo != out {
+				copy(a.props[out:out+c], a.props[lo:lo+c])
+			}
+			out += c
+		}
+		a.scanned += a.wscan[w]
+		a.rescored += a.wresc[w]
+	}
+	a.nprops = out
+	// Next round's pending list is exactly this round's proposers: a UE
+	// leaves on assignment (checked at propose time) or on candidate
+	// exhaustion (it stopped proposing), matching the legacy driver.
+	a.pending = a.pending[:out]
+	for i := 0; i < out; i++ {
+		a.pending[i] = a.props[i].ue
+	}
+	return out
+}
+
+func (a *Arena) proposeWorkerWG(w, lo, hi int) {
+	defer a.wg.Done()
+	a.proposeWorker(w, lo, hi)
+}
+
+// proposeWorker proposes for pending[lo:hi], writing proposals into the
+// props chunk starting at lo and its counters into slot w. It reads the
+// ledger and the assigned bitset but writes only UE-local heap state and
+// its own output slots.
+func (a *Arena) proposeWorker(w, lo, hi int) {
+	var cnt int32
+	var scanned, rescored uint64
+	props, pending := a.props, a.pending
+	for i := lo; i < hi; i++ {
+		u := pending[i]
+		if a.assigned.Get(u) {
+			continue
+		}
+		var g int32
+		var ok bool
+		if a.scan {
+			g, ok = a.proposeUEScan(u)
+		} else {
+			var s, r uint64
+			g, ok, s, r = a.proposeUE(u)
+			scanned += s
+			rescored += r
+		}
+		if ok {
+			props[lo+int(cnt)] = soaProposal{ue: u, g: g}
+			cnt++
+		}
+	}
+	a.wcnt[w] = cnt
+	a.wscan[w] = scanned
+	a.wresc[w] = rescored
+}
+
+// proposeUEScan is proposeUE for unobserved runs: a straight sweep over
+// the UE's unordered alive-candidate list (hk[Off[u]:Off[u]+hlen[u]])
+// that drops every currently-infeasible candidate and returns the
+// (preference, candidate-index)-lex minimum of the rest. It produces
+// exactly proposeUE's proposal: both return the lex-min over the
+// feasible candidates, and dropping infeasible ones eagerly (rather
+// than only when they surface at the heap top) changes nothing because
+// residuals never grow within a run — infeasible now means infeasible
+// forever. What it does not maintain is the heap's scanned/rescored
+// accounting, which only observed runs report. The payoff is locality:
+// each proposal touches one contiguous int32 run plus the ledger, with
+// no sift writes and no version traffic.
+func (a *Arena) proposeUEScan(u int32) (int32, bool) {
+	n := a.hlen[u]
+	if n == 0 {
+		return 0, false
+	}
+	csr := a.csr
+	base := csr.Off[u]
+	svc := csr.Service[u]
+	need := csr.CRU[u]
+	S := int32(csr.Services)
+	hk := a.hk
+	best := int32(-1)
+	var bestV float64
+	for i := int32(0); i < n; {
+		k := hk[base+i]
+		gi := base + k
+		b := csr.BS[gi]
+		remCRU := a.remCRU[b*S+svc]
+		remRRB := a.remRRB[b]
+		if remCRU < need || remRRB < csr.RRBs[gi] {
+			n--
+			hk[base+i] = hk[base+n]
+			continue
+		}
+		v := a.cfg.preference(csr.Price[gi], int(remCRU)+int(remRRB))
+		if best < 0 || soaLess(v, k, bestV, best) {
+			best, bestV = k, v
+		}
+		i++
+	}
+	a.hlen[u] = n
+	if best < 0 {
+		return 0, false
+	}
+	return base + best, true
+}
+
+// proposeUE picks UE u's minimum-preference candidate whose residuals
+// still fit it, permanently dropping view-infeasible candidates along
+// the way (Alg. 1 lines 3-10). It is Proposer.Propose over the flat
+// heap: the same lazy-refresh loop as PrefScorer.Best, with the drop
+// fused in — an infeasible candidate is always the freshly-refreshed
+// top, so it is swap-removed on the spot instead of tombstoned. Returns
+// the global candidate index of the chosen link.
+func (a *Arena) proposeUE(u int32) (g int32, ok bool, scanned, rescored uint64) {
+	n := a.hlen[u]
+	if n == 0 {
+		return 0, false, 0, 0
+	}
+	csr := a.csr
+	base := csr.Off[u]
+	svc := csr.Service[u]
+	need := csr.CRU[u]
+	S := int32(csr.Services)
+	hv, hver, hk := a.hv, a.hver, a.hk
+	for n > 0 {
+		scanned += uint64(n)
+		for {
+			gi := base + hk[base]
+			b := csr.BS[gi]
+			cur := a.ver[b]
+			if hver[base] == cur {
+				break
+			}
+			hv[base] = a.cfg.preference(csr.Price[gi], int(a.remCRU[b*S+svc])+int(a.remRRB[b]))
+			hver[base] = cur
+			rescored++
+			a.heapSiftDown(base, n)
+		}
+		gi := base + hk[base]
+		b := csr.BS[gi]
+		if a.remCRU[b*S+svc] >= need && a.remRRB[b] >= csr.RRBs[gi] {
+			a.hlen[u] = n
+			return gi, true, scanned, rescored
+		}
+		n--
+		if n > 0 {
+			hv[base], hver[base], hk[base] = hv[base+n], hver[base+n], hk[base+n]
+			if n > 1 {
+				a.heapSiftDown(base, n)
+			}
+		}
+	}
+	a.hlen[u] = 0
+	return 0, false, scanned, rescored
+}
+
+// heapSiftDown restores the min-heap property from the root of the
+// n-entry heap region starting at base, ordered by (value, candidate
+// index) exactly like prefLess.
+func (a *Arena) heapSiftDown(base, n int32) {
+	hv, hver, hk := a.hv, a.hver, a.hk
+	i := int32(0)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && soaLess(hv[base+r], hk[base+r], hv[base+l], hk[base+l]) {
+			m = r
+		}
+		if !soaLess(hv[base+m], hk[base+m], hv[base+i], hk[base+i]) {
+			return
+		}
+		bi, bm := base+i, base+m
+		hv[bi], hv[bm] = hv[bm], hv[bi]
+		hver[bi], hver[bm] = hver[bm], hver[bi]
+		hk[bi], hk[bm] = hk[bm], hk[bi]
+		i = m
+	}
+}
+
+// soaLess is prefLess over the flattened entry fields.
+func soaLess(v1 float64, k1 int32, v2 float64, k2 int32) bool {
+	return v1 < v2 || (v1 == v2 && k1 < k2)
+}
+
+// emitProposeEvents walks the whole population in ascending UE order and
+// fires Propose for this round's proposers and Cloud for every other
+// unassigned UE — the event order the observed legacy path and the
+// message-passing runtimes produce.
+func (a *Arena) emitProposeEvents(hooks *SoAHooks) {
+	nUE := int32(a.csr.UEs())
+	pi := 0
+	for u := int32(0); u < nUE; u++ {
+		if a.assigned.Get(u) {
+			continue
+		}
+		if pi < a.nprops && a.props[pi].ue == u {
+			if hooks.Propose != nil {
+				hooks.Propose(u, a.csr.BS[a.props[pi].g])
+			}
+			pi++
+		} else if hooks.Cloud != nil {
+			hooks.Cloud(u)
+		}
+	}
+}
+
+// bucketByBS counting-sorts props[:nprops] by target BS into sorted.
+// The scatter is stable, so each BS's inbox keeps ascending-UE order —
+// the order the serial per-BS inbox appends would have produced. After
+// the call, bsOff[b] is the END of BS b's bucket and bsCnt[b] its size.
+func (a *Arena) bucketByBS() {
+	bs := a.csr.BS
+	for _, p := range a.props[:a.nprops] {
+		a.bsCnt[bs[p.g]]++
+	}
+	off := int32(0)
+	for b := range a.bsOff {
+		off += a.bsCnt[b]
+		a.bsOff[b] = off - a.bsCnt[b]
+	}
+	for _, p := range a.props[:a.nprops] {
+		b := bs[p.g]
+		a.sorted[a.bsOff[b]] = p
+		a.bsOff[b]++
+	}
+}
+
+// selectAll runs the serial select phase (Alg. 1 lines 11-26) for every
+// BS with proposals, in ascending BS order, through the canonical
+// Config.SelectRound against the arena ledger. bsCnt is re-zeroed as
+// buckets are consumed, keeping it all-zero between rounds.
+func (a *Arena) selectAll(stats *SoAStats, hooks *SoAHooks) error {
+	csr := a.csr
+	for b := 0; b < csr.BSs(); b++ {
+		c := a.bsCnt[b]
+		if c == 0 {
+			continue
+		}
+		a.bsCnt[b] = 0
+		end := a.bsOff[b]
+		a.reqs = a.reqs[:0]
+		for _, p := range a.sorted[end-c : end] {
+			u, g := p.ue, p.g
+			a.reqs = append(a.reqs, Request{
+				UE:          mec.UEID(u),
+				Service:     mec.ServiceID(csr.Service[u]),
+				CRUs:        int(csr.CRU[u]),
+				RRBs:        int(csr.RRBs[g]),
+				SameSP:      csr.SameSP[g],
+				Fu:          int(csr.Fu[u]),
+				PricePerCRU: csr.Price[g],
+			})
+		}
+		a.led.bs = int32(b)
+		verdicts, err := a.cfg.SelectRound(&a.led, a.reqs, &a.sel)
+		if err != nil {
+			return err
+		}
+		for _, v := range verdicts {
+			if v.Accepted {
+				stats.Accepts++
+			} else {
+				stats.Rejects++
+			}
+			if hooks != nil && hooks.Verdict != nil {
+				hooks.Verdict(int32(b), v)
+			}
+		}
+	}
+	return nil
+}
+
+// arenaLedger adapts one BS's slice of the arena's dense ledger to the
+// engine.Ledger the select phase admits against. It lives inside the
+// Arena and is passed by pointer, so the interface conversion never
+// allocates.
+type arenaLedger struct {
+	a  *Arena
+	bs int32
+}
+
+// Residual implements Ledger.
+func (l *arenaLedger) Residual(j mec.ServiceID) (remCRU, remRRBs int) {
+	a := l.a
+	return int(a.remCRU[l.bs*int32(a.csr.Services)+int32(j)]), int(a.remRRB[l.bs])
+}
+
+// Admit implements Ledger: debit the dense ledger, bump the BS version
+// (which lazily invalidates every cached preference against it), and
+// record the assignment. SelectRound only calls it after a Residual
+// feasibility check.
+func (l *arenaLedger) Admit(r Request) error {
+	a, b := l.a, l.bs
+	a.remCRU[b*int32(a.csr.Services)+int32(r.Service)] -= int32(r.CRUs)
+	a.remRRB[b] -= int32(r.RRBs)
+	a.ver[b]++
+	u := int32(r.UE)
+	a.serving[u] = b
+	a.assigned.Set(u)
+	return nil
+}
+
+// checkInvariants recounts the ledger from the final assignment, the
+// arena-side mirror of mec.State.CheckInvariants: every served UE must
+// sit on a real candidate link, the bitset must agree with serving, and
+// capacities minus admitted demand must equal the residuals exactly.
+func (a *Arena) checkInvariants() error {
+	csr := a.csr
+	S := int32(csr.Services)
+	a.invCRU = grown(a.invCRU, len(csr.CRUCap))
+	clear(a.invCRU)
+	a.invRRB = grown(a.invRRB, csr.BSs())
+	clear(a.invRRB)
+	for u := int32(0); int(u) < csr.UEs(); u++ {
+		b := a.serving[u]
+		if (b >= 0) != a.assigned.Get(u) {
+			return fmt.Errorf("engine: arena state invalid: UE %d serving=%d but assigned bit %v", u, b, a.assigned.Get(u))
+		}
+		if b < 0 {
+			continue
+		}
+		g := csr.FindCand(mec.UEID(u), mec.BSID(b))
+		if g < 0 {
+			return fmt.Errorf("engine: arena state invalid: UE %d served by non-candidate BS %d", u, b)
+		}
+		a.invCRU[b*S+csr.Service[u]] += csr.CRU[u]
+		a.invRRB[b] += csr.RRBs[g]
+	}
+	for b := int32(0); int(b) < csr.BSs(); b++ {
+		for j := int32(0); j < S; j++ {
+			if got, want := a.remCRU[b*S+j], csr.CRUCap[b*S+j]-a.invCRU[b*S+j]; got != want || got < 0 {
+				return fmt.Errorf("engine: arena ledger drift: BS %d service %d residual CRUs = %d, recount %d", b, j, got, want)
+			}
+		}
+		if got, want := a.remRRB[b], csr.MaxRRB[b]-a.invRRB[b]; got != want || got < 0 {
+			return fmt.Errorf("engine: arena ledger drift: BS %d residual RRBs = %d, recount %d", b, got, want)
+		}
+	}
+	return nil
+}
+
+// Serving returns the per-UE serving BS indices (-1 = cloud) of the
+// completed run. The slice is owned by the arena and valid until the
+// next Run.
+func (a *Arena) Serving() []int32 { return a.serving }
+
+// UEs, BSs, and Services report the dimensions of the current run.
+func (a *Arena) UEs() int      { return a.csr.UEs() }
+func (a *Arena) BSs() int      { return a.csr.BSs() }
+func (a *Arena) Services() int { return a.csr.Services }
+
+// RemCRU returns BS b's residual CRUs for service j.
+func (a *Arena) RemCRU(b, j int) int { return int(a.remCRU[b*a.csr.Services+j]) }
+
+// RemRRB returns BS b's residual radio blocks.
+func (a *Arena) RemRRB(b int) int { return int(a.remRRB[b]) }
+
+// AssignedCount returns the number of served UEs.
+func (a *Arena) AssignedCount() int { return a.assigned.Count() }
+
+// CacheStats returns the cumulative Eq. 17 evaluations a naive sweep
+// would have performed and the evaluations actually run, identical in
+// meaning (and, by construction, in value) to PrefScorer.CacheStats.
+func (a *Arena) CacheStats() (scanned, rescored uint64) {
+	return a.scanned, a.rescored
+}

@@ -87,3 +87,40 @@ func TestGridIndexSparseHugeExtent(t *testing.T) {
 		t.Fatalf("Near missed the far point: %v", got)
 	}
 }
+
+// TestGridIndexOccupancyBounds pins the cell sizing on the layout the
+// million-UE scenario uses: a regular BS lattice (300 m spacing) indexed
+// at the 450 m coverage radius. Per-cell occupancy and the number of
+// points a coverage-radius query visits must both be O(1) — independent
+// of the lattice size — or the link build degenerates toward the
+// all-pairs scan the grid exists to avoid.
+func TestGridIndexOccupancyBounds(t *testing.T) {
+	const spacing, coverage = 300.0, 450.0
+	for _, edge := range []int{5, 50, 155} { // 155² ≈ the 24k-BS 1M rung
+		var pts []Point
+		for r := 0; r < edge; r++ {
+			for c := 0; c < edge; c++ {
+				pts = append(pts, Point{X: float64(c) * spacing, Y: float64(r) * spacing})
+			}
+		}
+		g := NewGridIndex(pts, coverage)
+		if len(g.cells) > 4*len(pts)+64 {
+			t.Fatalf("edge %d: %d cells for %d points", edge, len(g.cells), len(pts))
+		}
+		// A 450 m cell over a 300 m lattice holds at most ceil(450/300)²=4
+		// points; coarsening (which only fires when the table bound bites,
+		// never on a dense lattice) would show up here as a blowup.
+		maxBucket := 0
+		for _, cell := range g.cells {
+			maxBucket = max(maxBucket, len(cell))
+		}
+		if maxBucket > 4 {
+			t.Fatalf("edge %d: densest cell holds %d points, want <= 4", edge, maxBucket)
+		}
+		// A coverage-radius query overlaps at most a 3×3 cell window.
+		got := g.Near(Point{X: spacing * float64(edge) / 2, Y: spacing * float64(edge) / 2}, coverage, nil)
+		if len(got) > 9*4 {
+			t.Fatalf("edge %d: coverage query visited %d points, want <= 36", edge, len(got))
+		}
+	}
+}

@@ -49,6 +49,9 @@ type Network struct {
 	links [][]Link
 	// coverCount[u] is f_u: how many BSs cover u and host its service.
 	coverCount []int
+	// dense lazily carries the struct-of-arrays candidate view (see
+	// soa.go). Only NewNetwork-built networks are eligible.
+	dense csrState
 }
 
 // NewNetwork validates the scenario and precomputes per-link radio and
@@ -71,6 +74,7 @@ func NewNetwork(sps []SP, bss []BS, ues []UE, services int, rc radio.Config, pr 
 	if err := n.buildLinks(); err != nil {
 		return nil, err
 	}
+	n.dense.eligible = true
 	return n, nil
 }
 
@@ -168,9 +172,10 @@ func (n *Network) buildLinks() error {
 	}
 	if workers <= 1 {
 		var near []int32
+		arena := newLinkArena(len(n.UEs))
 		for u := range n.UEs {
 			var err error
-			if near, err = n.buildLinksForUE(u, grid, near); err != nil {
+			if near, err = n.buildLinksForUE(u, grid, near, arena); err != nil {
 				return err
 			}
 		}
@@ -187,12 +192,13 @@ func (n *Network) buildLinks() error {
 		go func() {
 			defer wg.Done()
 			var near []int32
+			arena := newLinkArena(len(n.UEs)/workers + 1)
 			for {
 				u := int(next.Add(1)) - 1
 				if u >= len(n.UEs) {
 					return
 				}
-				near, errs[u] = n.buildLinksForUE(u, grid, near)
+				near, errs[u] = n.buildLinksForUE(u, grid, near, arena)
 			}
 		}()
 	}
@@ -209,15 +215,76 @@ func (n *Network) buildLinks() error {
 // sequentially: tiny scenarios finish faster than goroutines spin up.
 const parallelBuildThreshold = 1 << 14
 
+// linkArena backs the candidate slices of one build worker with a few
+// large blocks instead of one organically-grown slice per UE. The
+// per-UE append pattern allocated ~4 slices per UE — at a million UEs
+// over a gigabyte of zeroing and growth copying, the single largest
+// cost of scenario construction. Handed-out slices are capacity-capped
+// three-index views, so no append through one of them can ever reach a
+// neighbour's links.
+type linkArena struct {
+	block []Link
+}
+
+// newLinkArena sizes the first block for ~8 candidates per UE (above
+// the dense-city mean of ~7, so the common case is one block), clamped
+// so small scenarios stay small and huge ones amortize in ~80 MB steps.
+func newLinkArena(ues int) *linkArena {
+	size := 8 * ues
+	if size < 256 {
+		size = 256
+	}
+	if size > linkArenaMaxBlock {
+		size = linkArenaMaxBlock
+	}
+	return &linkArena{block: make([]Link, 0, size)}
+}
+
+// linkArenaMaxBlock bounds block size (in links) so arena waste — at
+// most one unfinished block — stays under ~100 MB at any scale.
+const linkArenaMaxBlock = 1 << 20
+
+// push appends one link to the run that began at index start, moving
+// the run to a fresh block when the current one fills; it returns the
+// (possibly relocated) run start.
+func (a *linkArena) push(start int, l Link) int {
+	if len(a.block) == cap(a.block) {
+		partial := len(a.block) - start
+		size := cap(a.block)
+		if size < 2*partial+64 {
+			// A single UE outgrowing a block only happens at tiny arena
+			// sizes; keep its run contiguous.
+			size = 2*partial + 64
+		}
+		nb := make([]Link, partial, size)
+		copy(nb, a.block[start:])
+		a.block = nb
+		start = 0
+	}
+	a.block = append(a.block, l)
+	return start
+}
+
+// take seals the run that began at start and returns it as a
+// capacity-capped slice (nil when empty, like the append-built slices
+// this replaces).
+func (a *linkArena) take(start int) []Link {
+	if start == len(a.block) {
+		return nil
+	}
+	return a.block[start:len(a.block):len(a.block)]
+}
+
 // buildLinksForUE fills links[u] and coverCount[u], reusing near as the
-// grid-query scratch buffer; it returns the (possibly grown) scratch.
-// Candidates come out in ascending BS order — the order Link's binary
-// search and the allocators' tie-breaking both rely on.
-func (n *Network) buildLinksForUE(u int, grid *geo.GridIndex, near []int32) ([]int32, error) {
+// grid-query scratch buffer and arena as the backing store for the
+// candidate slice; it returns the (possibly grown) scratch. Candidates
+// come out in ascending BS order — the order Link's binary search and
+// the allocators' tie-breaking both rely on.
+func (n *Network) buildLinksForUE(u int, grid *geo.GridIndex, near []int32, arena *linkArena) ([]int32, error) {
 	ue := &n.UEs[u]
 	sp := &n.SPs[ue.SP]
 	near = grid.Near(ue.Pos, n.Radio.CoverageRadiusM, near[:0])
-	var candidates []Link
+	start := len(arena.block)
 	for _, b32 := range near {
 		b := int(b32)
 		bs := &n.BSs[b]
@@ -229,7 +296,7 @@ func (n *Network) buildLinksForUE(u int, grid *geo.GridIndex, near []int32) ([]i
 			continue
 		}
 		shadow := n.Radio.ShadowDB(u, b)
-		rrbs, err := n.Radio.RRBsNeededWith(d, ue.RateBps, shadow)
+		sinr, rrbs, err := n.Radio.LinkBudgetWith(d, ue.RateBps, shadow)
 		if err != nil {
 			// Covered but rate-unreachable: treat as out of range.
 			continue
@@ -244,19 +311,19 @@ func (n *Network) buildLinksForUE(u int, grid *geo.GridIndex, near []int32) ([]i
 				"mec: Eq. 16 violated: SP %d price %g <= p_{%d,%d} %g + other cost %g",
 				ue.SP, sp.CRUPrice, b, u, price, sp.OtherCostPerCRU)
 		}
-		candidates = append(candidates, Link{
+		start = arena.push(start, Link{
 			UE:          UEID(u),
 			BS:          BSID(b),
 			DistanceM:   d,
 			RRBs:        rrbs,
 			PricePerCRU: price,
 			SameSP:      ue.SP == bs.SP,
-			SINR:        n.Radio.SINRWith(d, shadow),
+			SINR:        sinr,
 			ShadowDB:    shadow,
 		})
 	}
-	n.links[u] = candidates
-	n.coverCount[u] = len(candidates)
+	n.links[u] = arena.take(start)
+	n.coverCount[u] = len(n.links[u])
 	return near, nil
 }
 

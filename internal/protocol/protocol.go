@@ -242,7 +242,7 @@ func (r *runner) exportRound(round int) {
 	}
 	r.snap.Round = round
 	for b, bs := range r.bss {
-		copy(r.snap.RemCRU[b], bs.led.RemainingCRU())
+		copy(r.snap.CRURow(b), bs.led.RemainingCRU())
 		r.snap.RemRRB[b] = bs.led.RemainingRRBs()
 	}
 	for u, agent := range r.ues {

@@ -180,6 +180,25 @@ func (c Config) RRBsNeededWith(distanceM, requiredRateBps, extraLossDB float64) 
 	return n, nil
 }
 
+// LinkBudgetWith evaluates the whole per-link radio chain — linear
+// SINR, per-RRB rate (Eq. 2), and the Eq. 3 RRB count — computing the
+// path-loss power math once. Scenario construction calls this for every
+// candidate link; at a million UEs the separate SINRWith +
+// RRBsNeededWith calls evaluated the same exponentials twice and were
+// the build's second-largest cost after allocation. The results are
+// bit-identical to the separate calls.
+func (c Config) LinkBudgetWith(distanceM, requiredRateBps, extraLossDB float64) (sinr float64, rrbs int, err error) {
+	sinr = c.SINRWith(distanceM, extraLossDB)
+	if requiredRateBps <= 0 {
+		return sinr, 0, nil
+	}
+	e := c.RRBBandwidthHz * math.Log2(1+sinr)
+	if e <= 0 {
+		return sinr, 0, ErrRateUnreachable
+	}
+	return sinr, int(math.Ceil(requiredRateBps / e)), nil
+}
+
 // Covers reports whether a BS at the given distance is reachable: within
 // the coverage radius. Resource feasibility (enough RRBs) is checked by
 // allocators, not here.

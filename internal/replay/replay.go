@@ -264,15 +264,15 @@ func (m *Machine) accept(e obs.Event) error {
 	}
 	ue := &m.net.UEs[e.UE]
 	svc := int(ue.Service)
-	if svc < 0 || svc >= len(m.snap.RemCRU[e.BS]) {
+	if svc < 0 || svc >= m.snap.Services {
 		return fmt.Errorf("replay: event %d: UE %d requests service %d outside BS %d's %d services",
-			e.Seq, e.UE, svc, e.BS, len(m.snap.RemCRU[e.BS]))
+			e.Seq, e.UE, svc, e.BS, m.snap.Services)
 	}
-	if m.snap.RemCRU[e.BS][svc] < ue.CRUDemand || m.snap.RemRRB[e.BS] < link.RRBs {
+	if m.snap.CRU(e.BS, svc) < ue.CRUDemand || m.snap.RemRRB[e.BS] < link.RRBs {
 		return fmt.Errorf("replay: event %d: accept of UE %d overdraws BS %d (need %d CRUs/%d RRBs, have %d/%d)",
-			e.Seq, e.UE, e.BS, ue.CRUDemand, link.RRBs, m.snap.RemCRU[e.BS][svc], m.snap.RemRRB[e.BS])
+			e.Seq, e.UE, e.BS, ue.CRUDemand, link.RRBs, m.snap.CRU(e.BS, svc), m.snap.RemRRB[e.BS])
 	}
-	m.snap.RemCRU[e.BS][svc] -= ue.CRUDemand
+	m.snap.RemCRU[e.BS*m.snap.Services+svc] -= ue.CRUDemand
 	m.snap.RemRRB[e.BS] -= link.RRBs
 	m.snap.ServingBS[e.UE] = bs
 	st.Phase = PhaseMatched

@@ -98,7 +98,7 @@ func TestAcceptSemantics(t *testing.T) {
 	}
 	ue := &net.UEs[u]
 	wantCRU := net.BSs[b0].CRUCapacity[ue.Service] - ue.CRUDemand
-	if got := m.Snapshot().RemCRU[b0][ue.Service]; got != wantCRU {
+	if got := m.Snapshot().CRU(int(b0), int(ue.Service)); got != wantCRU {
 		t.Fatalf("RemCRU after accept = %d, want %d", got, wantCRU)
 	}
 	if got := m.Snapshot().RemRRB[b0]; got != net.BSs[b0].MaxRRBs-cands[0].RRBs {
@@ -111,7 +111,7 @@ func TestAcceptSemantics(t *testing.T) {
 	if err := m.Apply(acc); err != nil {
 		t.Fatalf("re-sent accept: %v", err)
 	}
-	if got := m.Snapshot().RemCRU[b0][ue.Service]; got != wantCRU {
+	if got := m.Snapshot().CRU(int(b0), int(ue.Service)); got != wantCRU {
 		t.Fatalf("RemCRU after re-send = %d, want %d (double debit)", got, wantCRU)
 	}
 	// Conflicting accept on a different BS is a corrupt trace.

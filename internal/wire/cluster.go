@@ -241,7 +241,7 @@ func RunClusterWith(net_ *mec.Network, cc ClusterConfig) (res ClusterResult, err
 		snap.Round = round
 		for b := range net_.BSs {
 			if resp := responses[b]; resp != nil {
-				copy(snap.RemCRU[b], resp.RemainingCRU)
+				copy(snap.CRURow(b), resp.RemainingCRU)
 				snap.RemRRB[b] = resp.RemainingRRBs
 			}
 		}

@@ -45,7 +45,11 @@ func FuzzEngineParity(f *testing.F) {
 			t.Skip("unbuildable shape")
 		}
 
-		sync, err := alloc.NewDMRA(alloc.DefaultDMRAConfig()).Allocate(net_)
+		// The solver side runs the SoA arena engine at a seed-derived
+		// propose-worker count, so this fuzz also pins the parallel propose
+		// phase against both message-passing runtimes.
+		sync, err := alloc.NewDMRA(alloc.DefaultDMRAConfig()).
+			WithProposeWorkers(1 + int(seed/7%8)).Allocate(net_)
 		if err != nil {
 			t.Fatalf("seed %d: solver: %v", seed, err)
 		}

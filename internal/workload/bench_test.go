@@ -17,22 +17,14 @@ func buildScales() []struct {
 	name string
 	cfg  Config
 } {
-	mk := func(spMul int) Config {
-		cfg := Default()
-		cfg.SPs *= spMul
-		cfg.BSsPerSP *= spMul
-		cfg.AreaWidthM *= float64(spMul)
-		cfg.AreaHeightM *= float64(spMul)
-		cfg.UEs *= spMul * spMul // constant UE density
-		return cfg
-	}
 	return []struct {
 		name string
 		cfg  Config
 	}{
-		{"25bs-600ue", mk(1)},
-		{"100bs-2400ue", mk(2)},
-		{"400bs-9600ue", mk(4)},
+		{"25bs-600ue", Default().Scale(1)},
+		{"100bs-2400ue", Default().Scale(2)},
+		{"400bs-9600ue", Default().Scale(4)},
+		{"2500bs-110kue", DenseCity().Scale(10)},
 	}
 }
 
@@ -50,6 +42,21 @@ func BenchmarkNewNetwork(b *testing.B) {
 			}
 		})
 	}
+	// The million-UE rung (24,025 BSs, 1,057,100 UEs, ~7M candidate
+	// links) is skipped under -short so check.sh's bench smoke stays
+	// fast; `make bench-1m` runs it.
+	b.Run("24kbs-1Mue", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("1M build skipped under -short (run via make bench-1m)")
+		}
+		cfg := DenseCity().Scale(31)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := cfg.Build(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // TestWriteNetworkBenchBaseline appends the BenchmarkNewNetwork sweep as

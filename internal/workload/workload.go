@@ -152,6 +152,44 @@ func Default() Config {
 	}
 }
 
+// DenseCity returns the rush-hour dense-city scenario shared by the
+// hot-path benchmarks and examples/densecity: hotspot-clustered demand
+// (three tight 100 m-sigma hotspots holding 90% of the UEs) and Zipf
+// service popularity over the default 5-SP grid. Scale it for the 100k
+// and million-UE benchmark rungs.
+func DenseCity() Config {
+	c := Default()
+	c.UEs = 1100
+	c.UEDist = UEHotspot
+	c.HotspotCount = 3
+	c.HotspotSigmaM = 100
+	c.HotspotFraction = 0.9
+	c.ServiceDist = ServiceZipf
+	c.ZipfS = 1.1
+	return c
+}
+
+// Scale returns a copy of the config grown by an integer edge factor s
+// at constant density: SP count, BSs per SP, and both area edges scale
+// by s, so the BS grid keeps its inter-site spacing; UEs and hotspot
+// count scale by s² so per-cell load and per-hotspot population stay
+// what the base scenario calibrated. A scale-k city is therefore k²
+// copies of the base city's local matching problem, which is exactly
+// what the million-UE benchmarks need: bigger, not qualitatively
+// different.
+func (c Config) Scale(s int) Config {
+	if s <= 1 {
+		return c
+	}
+	c.SPs *= s
+	c.BSsPerSP *= s
+	c.AreaWidthM *= float64(s)
+	c.AreaHeightM *= float64(s)
+	c.UEs *= s * s
+	c.HotspotCount *= s * s
+	return c
+}
+
 // defaultRadio is radio.DefaultConfig plus the 20 dB inter-cell
 // interference margin DESIGN.md calibrates for the dense deployment.
 func defaultRadio() radio.Config {

@@ -1,12 +1,13 @@
 #!/bin/sh
 # Compare the last two BENCH_exp.json records per benchmark and fail on
-# a ns/op regression beyond the threshold. Run `make bench` before and
-# after a change to append the two records this script diffs. With no
-# benchmark argument, every hot-path gate runs: the batch solver
-# (BenchmarkAllocate), the dynamic session (BenchmarkSession), the
-# spec-driven workload engine (BenchmarkDynamicSession, per arrival
-# process), the trace-replay debugger (BenchmarkReplay), and the TCP
-# cluster (BenchmarkCluster).
+# a ns/op — or allocs/op — regression beyond the threshold. Run
+# `make bench` before and after a change to append the two records this
+# script diffs. With no benchmark argument, every hot-path gate runs:
+# the batch solver (BenchmarkAllocate), the million-UE rung
+# (BenchmarkAllocate1M, appended by `make bench-1m`), the dynamic
+# session (BenchmarkSession), the spec-driven workload engine
+# (BenchmarkDynamicSession, per arrival process), the trace-replay
+# debugger (BenchmarkReplay), and the TCP cluster (BenchmarkCluster).
 #
 # Usage:
 #   scripts/benchdiff.sh                           both default gates, +20% budget
@@ -20,7 +21,7 @@ max_regress=${2:-0.20}
 if [ $# -ge 1 ]; then
 	exec go run ./cmd/benchdiff -file BENCH_exp.json -bench "$1" -max-regress "$max_regress"
 fi
-for bench in BenchmarkAllocate BenchmarkSession BenchmarkDynamicSession BenchmarkReplay; do
+for bench in BenchmarkAllocate BenchmarkAllocate1M BenchmarkSession BenchmarkDynamicSession BenchmarkReplay; do
 	go run ./cmd/benchdiff -file BENCH_exp.json -bench "$bench" -max-regress "$max_regress"
 done
 # The cluster gate gets a wider budget: its runs open hundreds of loopback

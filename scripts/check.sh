@@ -13,6 +13,7 @@
 #   scripts/check.sh engine-guard      only the single-round-engine grep guard
 #   scripts/check.sh wire-guard        only the wire deadline grep guard
 #   scripts/check.sh wire-shards       only the race-enabled wire suite at several shard counts
+#   scripts/check.sh soa-parity        only the race-enabled SoA-engine parity gate at several worker counts
 #   scripts/check.sh workload-specs    only the example-spec validation + online spec smoke
 #   scripts/check.sh replay-parity     only the race-enabled trace-replay parity gate
 set -eu
@@ -60,10 +61,30 @@ wire_shards() {
 	echo "wire shards: race-enabled wire suite passed at shards 1 and 3"
 }
 
+soa_parity() {
+	# The struct-of-arrays arena engine must be byte-identical to the
+	# legacy cached engine — assignments, stats, event streams, round
+	# snapshots — at any propose-worker count. Sweep the worker width
+	# race-enabled (like the wire shard sweep): workers 3 spawns real
+	# propose goroutines, so this is also the data-race gate on the
+	# parallel merge. The 50k-UE smoke run exercises the same parallel
+	# path at a scale where chunk boundaries actually split the pending
+	# list many ways.
+	for workers in 1 3; do
+		DMRA_TEST_PROPOSE_WORKERS=$workers go test -race -count=1 \
+			-run 'TestSoA|FuzzSoAParity' ./internal/alloc/
+	done
+	DMRA_TEST_PROPOSE_WORKERS=3 go test -race -count=1 -run 'TestSoASmoke50k' \
+		-timeout 20m ./internal/alloc/
+	echo "soa parity: race-enabled SoA engine gate passed at workers 1 and 3 (+ 50k smoke)"
+}
+
 bench_smoke() {
 	# One iteration of each hot-path benchmark: catches benchmarks that
 	# panic or scenarios that no longer build, without timing anything.
-	go test -run '^$' -bench 'BenchmarkAllocate$|BenchmarkNewNetwork$' \
+	# -short skips only the million-UE rungs (seconds of build each);
+	# `make bench-1m` covers those.
+	go test -short -run '^$' -bench 'BenchmarkAllocate$|BenchmarkNewNetwork$' \
 		-benchtime 1x ./internal/alloc/ ./internal/workload/
 	go test -run '^$' -bench 'BenchmarkCluster$' -benchtime 1x ./internal/wire/
 	echo "bench smoke: BenchmarkAllocate, BenchmarkNewNetwork, and BenchmarkCluster ran clean"
@@ -133,6 +154,10 @@ wire-shards)
 	wire_shards
 	exit 0
 	;;
+soa-parity)
+	soa_parity
+	exit 0
+	;;
 workload-specs)
 	workload_specs
 	exit 0
@@ -150,6 +175,7 @@ go vet ./...
 go test -race ./internal/engine/
 go test -race ./...
 wire_shards
+soa_parity
 replay_parity
 bench_smoke
 workload_specs
