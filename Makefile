@@ -29,6 +29,8 @@ check: vet race
 bench:
 	$(GO) test ./internal/exp/ -bench 'BenchmarkFigureRun|BenchmarkFigureRunObserved' -benchmem -run '^$$'
 	$(GO) test ./internal/alloc/ -bench 'BenchmarkAllocate$$|BenchmarkAllocateNaive$$' -benchmem -run '^$$'
+	$(GO) test ./internal/alloc/ -bench 'BenchmarkChurn$$' -benchmem -run '^$$'
+	$(GO) test ./internal/engine/ -bench 'BenchmarkArenaReset$$' -benchmem -run '^$$'
 	$(GO) test ./internal/workload/ -bench 'BenchmarkNewNetwork$$' -benchmem -run '^$$'
 	$(GO) test ./internal/online/ -bench 'BenchmarkSession$$|BenchmarkDynamicSession$$' -benchmem -run '^$$'
 	$(GO) test ./internal/replay/ -bench 'BenchmarkReplay$$' -benchmem -run '^$$'
@@ -53,6 +55,8 @@ bench-1m:
 bench-baseline:
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/exp/ -run TestWriteBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteAllocBenchBaseline -v
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/alloc/ -run TestWriteChurnBenchBaseline -v -timeout 30m
+	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/engine/ -run TestWriteArenaBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/workload/ -run TestWriteNetworkBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteSessionBenchBaseline -v
 	BENCH_BASELINE=$(CURDIR)/BENCH_exp.json $(GO) test ./internal/online/ -run TestWriteDynamicSessionBenchBaseline -v

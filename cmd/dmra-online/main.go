@@ -13,6 +13,8 @@
 //	-duration 600  simulated horizon (seconds)
 //	-epoch 1       re-allocation period (seconds)
 //	-algo dmra     matching policy per epoch
+//	-incremental   delta-repair re-matching (dmra only): epoch cost scales
+//	               with churn, not population; output is byte-identical
 //	-seed 1        session seed
 //	-replicate 1   independent sessions to aggregate (seeds seed..seed+N-1)
 //	-procs 0       worker goroutines for replication (0 = GOMAXPROCS)
@@ -48,6 +50,7 @@ func run(args []string) error {
 		epoch     = fs.Float64("epoch", 1, "re-allocation period (s)")
 		spec      = fs.String("spec", "", "dynamic workload spec file (JSON; replaces -rate/-hold)")
 		algo      = fs.String("algo", "dmra", "matching policy (dmra|dcsp|nonco|random|greedy|stablematch)")
+		incr      = fs.Bool("incremental", false, "delta-repair re-matching (dmra only); byte-identical output, epoch cost proportional to churn")
 		seed      = fs.Uint64("seed", 1, "session seed")
 		pool      = fs.Int("pool", 0, "concurrent-UE profile pool (0 = 4x offered load)")
 		series    = fs.Bool("series", false, "chart profit rate and occupancy over time")
@@ -71,6 +74,7 @@ func run(args []string) error {
 	cfg.DurationS = *duration
 	cfg.EpochS = *epoch
 	cfg.Algorithm = *algo
+	cfg.Incremental = *incr
 	cfg.Seed = *seed
 	cfg.RecordSeries = *series
 	cfg.Obs = obsRT.Rec
@@ -152,6 +156,10 @@ func run(args []string) error {
 	fmt.Printf("RRB occupancy:   %.0f%% (time-averaged)\n", 100*rep.MeanOccupancyRRB)
 	fmt.Printf("profit-time:     %.0f price-units x s over %d epochs (%d matcher invocations)\n",
 		rep.ProfitTime, rep.Epochs, rep.ReassignChecks)
+	if cfg.Incremental {
+		fmt.Printf("delta repair:    %d frontier UEs, %d released, %d drop-caches invalidated, %d repair rounds\n",
+			rep.DeltaFrontier, rep.DeltaReleased, rep.DeltaInvalidated, rep.DeltaRepairRounds)
+	}
 
 	if len(rep.Cohorts) > 0 {
 		fmt.Printf("\n%-12s %6s %8s %8s %9s %6s %6s\n",

@@ -66,6 +66,7 @@ func run(args []string) error {
 		epoch    = fs.Float64("epoch", 1, "arrival-rate sweep: re-allocation period (s)")
 		spec     = fs.String("spec", "", "arrival-rate sweep: workload spec rate-scaled per point (JSON)")
 		pool     = fs.Int("pool", 0, "arrival-rate sweep: concurrent-UE profile pool (0 = 4x offered load)")
+		incr     = fs.Bool("incremental", false, "arrival-rate sweep: delta-repair re-matching for dmra sessions (byte-identical output)")
 	)
 	obsFlags := cliobs.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -93,7 +94,7 @@ func run(args []string) error {
 			rates: xs, algorithms: algorithms, metric: *metric,
 			seeds: *seeds, procs: *procs, csvOut: *csv,
 			hold: *hold, duration: *duration, epoch: *epoch,
-			specPath: *spec, pool: *pool,
+			specPath: *spec, pool: *pool, incremental: *incr,
 		}
 		if err := cfg.run(obsRT.Rec); err != nil {
 			return err
@@ -190,11 +191,12 @@ type onlineSweep struct {
 	procs      int
 	csvOut     bool
 
-	hold     float64
-	duration float64
-	epoch    float64
-	specPath string
-	pool     int
+	hold        float64
+	duration    float64
+	epoch       float64
+	specPath    string
+	pool        int
+	incremental bool
 }
 
 // maxAutoPool bounds the auto-sized profile pool, mirroring dmra-online:
@@ -263,6 +265,9 @@ func (o onlineSweep) run(rec *dmra.ObsRecorder) error {
 		for ai, algo := range o.algorithms {
 			cfg := points[xi]
 			cfg.Algorithm = algo
+			// Delta repair is a dmra-engine mode; other policies in the
+			// same sweep run their usual from-scratch epochs.
+			cfg.Incremental = o.incremental && algo == "dmra"
 			cfg.Seed = uint64(s) + 1
 			cfg.Obs = rec
 			rep, err := dmra.RunOnline(cfg)

@@ -103,6 +103,11 @@ type Arena struct {
 	serving  []int32
 	assigned Bitset
 
+	// cru[u] is UE u's CRU demand. Plain runs alias csr.CRU (immutable);
+	// the incremental engine swaps in a private, mutable copy so demand
+	// changes never write through to the shared CSR.
+	cru []int32
+
 	// Flat lazy min-heaps, one region per UE at csr.Off[u]: hv/hver/hk
 	// are the prefEntry fields of pref.go in parallel arrays, hlen[u]
 	// is the live heap size. Infeasible candidates surface at the top
@@ -114,6 +119,16 @@ type Arena struct {
 	hk   []int32
 	hlen []int32
 	scan bool
+
+	// Dirty-region tracking: a UE's heap region is valid only while
+	// hstamp[u] == run. reset bumps run instead of re-filling the
+	// O(links) heap arrays (the full-array zeroing ROADMAP measured at
+	// ~44% of observed-run CPU); each region is (re)initialized lazily
+	// at the UE's first propose of the run, inside the propose worker
+	// that owns it. The incremental engine clears individual stamps to
+	// force a region rebuild after a ledger credit.
+	hstamp []uint32
+	run    uint32
 
 	// pending holds the UEs that can still propose, ascending; each
 	// round it compacts to the UEs that proposed (exactly the legacy
@@ -229,9 +244,15 @@ func (a *Arena) Run(net *mec.Network, cfg Config, workers int, hooks *SoAHooks) 
 }
 
 // reset rewinds the arena for a fresh run over csr, reusing storage.
+// The O(links) heap regions are NOT re-filled here: bumping the run
+// stamp invalidates every region at once, and each is rebuilt lazily at
+// its UE's first propose (see initRegion) — so reset itself is
+// O(UEs + BSs·Services), and a run only pays region setup for UEs that
+// actually propose.
 func (a *Arena) reset(csr *mec.CSR, cfg Config) {
 	a.csr = csr
 	a.cfg = cfg
+	a.cru = csr.CRU
 	a.led.a = a
 	a.scanned, a.rescored = 0, 0
 	a.nprops = 0
@@ -254,32 +275,31 @@ func (a *Arena) reset(csr *mec.CSR, cfg Config) {
 	a.hlen = grown(a.hlen, nUE)
 	if !a.scan {
 		// The scan path never reads values or versions, so unobserved
-		// runs skip both the fill and (on first use) the allocation —
-		// at a million UEs that is ~90 MB of writes per run.
+		// runs skip the allocation entirely; the sentinel fills happen
+		// per region in initRegion.
 		a.hv = grown(a.hv, links)
 		a.hver = grown(a.hver, links)
-		for i := range a.hv {
-			a.hv[i] = math.Inf(-1)
-		}
-		for i := range a.hver {
-			a.hver[i] = staleVer32
-		}
 	}
+	// One stamp bump invalidates every heap region. Stamps from earlier
+	// runs are always below the new run value, except after the (in
+	// practice unreachable) uint32 wrap or when the stamp array grows
+	// into stale capacity — both cleared explicitly.
+	if a.run == ^uint32(0) {
+		a.run = 0
+	}
+	a.run++
+	if cap(a.hstamp) < nUE {
+		a.hstamp = make([]uint32, nUE)
+		a.run = 1
+	}
+	a.hstamp = a.hstamp[:nUE]
+
 	if cap(a.pending) < nUE {
 		a.pending = make([]int32, 0, nUE)
 	}
 	a.pending = a.pending[:0]
 	for u := 0; u < nUE; u++ {
-		lo, hi := csr.Off[u], csr.Off[u+1]
-		cnt := hi - lo
-		a.hlen[u] = cnt
-		// All-equal sentinel values in ascending k order form a valid
-		// heap, and staleVer32 forces a first-touch rescore — the same
-		// initial state as PrefScorer.Reset.
-		for k := int32(0); k < cnt; k++ {
-			a.hk[lo+k] = k
-		}
-		if cnt > 0 {
+		if csr.Off[u+1] > csr.Off[u] {
 			a.pending = append(a.pending, int32(u))
 		}
 	}
@@ -289,6 +309,27 @@ func (a *Arena) reset(csr *mec.CSR, cfg Config) {
 	a.bsCnt = grown(a.bsCnt, nBS)
 	clear(a.bsCnt)
 	a.bsOff = grown(a.bsOff, nBS)
+}
+
+// initRegion (re)builds UE u's heap region for the current run: the full
+// candidate list alive, in the all-equal-sentinel order that forms a
+// valid heap with a first-touch rescore forced — the same initial state
+// as PrefScorer.Reset. Called by the propose worker that owns u, so the
+// writes are UE-local and race-free under parallel propose.
+func (a *Arena) initRegion(u int32) {
+	lo, hi := a.csr.Off[u], a.csr.Off[u+1]
+	cnt := hi - lo
+	a.hlen[u] = cnt
+	for k := int32(0); k < cnt; k++ {
+		a.hk[lo+k] = k
+	}
+	if !a.scan {
+		for i := lo; i < hi; i++ {
+			a.hv[i] = math.Inf(-1)
+			a.hver[i] = staleVer32
+		}
+	}
+	a.hstamp[u] = a.run
 }
 
 // proposeRound runs one propose phase over the pending list across the
@@ -360,6 +401,9 @@ func (a *Arena) proposeWorker(w, lo, hi int) {
 		if a.assigned.Get(u) {
 			continue
 		}
+		if a.hstamp[u] != a.run {
+			a.initRegion(u)
+		}
 		var g int32
 		var ok bool
 		if a.scan {
@@ -400,7 +444,7 @@ func (a *Arena) proposeUEScan(u int32) (int32, bool) {
 	csr := a.csr
 	base := csr.Off[u]
 	svc := csr.Service[u]
-	need := csr.CRU[u]
+	need := a.cru[u]
 	S := int32(csr.Services)
 	hk := a.hk
 	best := int32(-1)
@@ -444,7 +488,7 @@ func (a *Arena) proposeUE(u int32) (g int32, ok bool, scanned, rescored uint64) 
 	csr := a.csr
 	base := csr.Off[u]
 	svc := csr.Service[u]
-	need := csr.CRU[u]
+	need := a.cru[u]
 	S := int32(csr.Services)
 	hv, hver, hk := a.hv, a.hver, a.hk
 	for n > 0 {
@@ -572,7 +616,7 @@ func (a *Arena) selectAll(stats *SoAStats, hooks *SoAHooks) error {
 			a.reqs = append(a.reqs, Request{
 				UE:          mec.UEID(u),
 				Service:     mec.ServiceID(csr.Service[u]),
-				CRUs:        int(csr.CRU[u]),
+				CRUs:        int(a.cru[u]),
 				RRBs:        int(csr.RRBs[g]),
 				SameSP:      csr.SameSP[g],
 				Fu:          int(csr.Fu[u]),
@@ -651,7 +695,7 @@ func (a *Arena) checkInvariants() error {
 		if g < 0 {
 			return fmt.Errorf("engine: arena state invalid: UE %d served by non-candidate BS %d", u, b)
 		}
-		a.invCRU[b*S+csr.Service[u]] += csr.CRU[u]
+		a.invCRU[b*S+csr.Service[u]] += a.cru[u]
 		a.invRRB[b] += csr.RRBs[g]
 	}
 	for b := int32(0); int(b) < csr.BSs(); b++ {

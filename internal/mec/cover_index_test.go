@@ -1,0 +1,97 @@
+package mec
+
+import (
+	"sync"
+	"testing"
+
+	"dmra/internal/geo"
+	"dmra/internal/radio"
+)
+
+// TestCoverIndexTransposesCSR checks the inverted index against the
+// forward candidate lists: every (u, b) candidate link appears exactly
+// once in b's UE list, lists are ascending, and the total matches the
+// link count.
+func TestCoverIndexTransposesCSR(t *testing.T) {
+	ues := []UE{
+		{ID: 0, SP: 0, Service: 0, CRUDemand: 2, RateBps: 1e6, Pos: geo.Point{X: 10, Y: 0}},
+		{ID: 1, SP: 1, Service: 1, CRUDemand: 3, RateBps: 1e6, Pos: geo.Point{X: 200, Y: 0}},
+		{ID: 2, SP: 0, Service: 0, CRUDemand: 1, RateBps: 1e6, Pos: geo.Point{X: 390, Y: 0}},
+	}
+	net := twoBSNetwork(t, ues)
+	csr := net.Dense()
+	if csr == nil {
+		t.Fatal("no dense view")
+	}
+	off, ue := csr.CoverIndex()
+	if len(off) != csr.BSs()+1 || int(off[csr.BSs()]) != csr.Links() {
+		t.Fatalf("index shape: %d offsets, last %d, want %d links", len(off), off[csr.BSs()], csr.Links())
+	}
+	// Forward check: every candidate link is present in its BS's list.
+	for u := 0; u < csr.UEs(); u++ {
+		for g := csr.Off[u]; g < csr.Off[u+1]; g++ {
+			b := csr.BS[g]
+			found := false
+			for _, v := range ue[off[b]:off[b+1]] {
+				if v == int32(u) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("UE %d covers BS %d but is missing from its inverted list", u, b)
+			}
+		}
+	}
+	// Reverse check: every listed UE really has the BS as a candidate,
+	// and lists are strictly ascending (each UE at most once per BS).
+	total := 0
+	for b := 0; b < csr.BSs(); b++ {
+		list := ue[off[b]:off[b+1]]
+		total += len(list)
+		for i, u := range list {
+			if i > 0 && list[i-1] >= u {
+				t.Fatalf("BS %d inverted list not strictly ascending: %v", b, list)
+			}
+			if csr.FindCand(UEID(u), BSID(b)) < 0 {
+				t.Fatalf("BS %d lists UE %d which does not cover it", b, u)
+			}
+		}
+	}
+	if total != csr.Links() {
+		t.Fatalf("inverted index holds %d entries, CSR has %d links", total, csr.Links())
+	}
+}
+
+// TestCoverIndexConcurrentBuild pins the sync.Once contract: concurrent
+// first calls must agree on one index (run under -race in the suite).
+func TestCoverIndexConcurrentBuild(t *testing.T) {
+	ues := []UE{
+		{ID: 0, SP: 0, Service: 0, CRUDemand: 2, RateBps: 1e6, Pos: geo.Point{X: 10, Y: 0}},
+		{ID: 1, SP: 1, Service: 1, CRUDemand: 3, RateBps: 1e6, Pos: geo.Point{X: 200, Y: 0}},
+	}
+	bss := []BS{
+		{ID: 0, SP: 0, Pos: geo.Point{X: 0, Y: 0}, CRUCapacity: []int{100, 100}, MaxRRBs: 55},
+		{ID: 1, SP: 1, Pos: geo.Point{X: 400, Y: 0}, CRUCapacity: []int{100, 0}, MaxRRBs: 55},
+	}
+	net, err := NewNetwork(testSPs(2), bss, ues, 2, radio.DefaultConfig(), testPricing())
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	csr := net.Dense()
+	var wg sync.WaitGroup
+	offs := make([][]int32, 8)
+	for i := range offs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			offs[i], _ = csr.CoverIndex()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(offs); i++ {
+		if &offs[i][0] != &offs[0][0] {
+			t.Fatal("concurrent CoverIndex calls built distinct indexes")
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package obs
 
-import "strconv"
+import (
+	"strconv"
+	"sync"
+)
 
 // Recorder is what instrumented code holds: it fans each protocol event
 // into the metrics registry (counters split by kind) and the trace sink,
@@ -24,6 +27,20 @@ type Recorder struct {
 	prefEval    *Counter
 	prefRescore *Counter
 	prefHitRate *Gauge
+
+	deltaFrontier    *Gauge
+	deltaReleased    *Counter
+	deltaInvalidated *Counter
+	deltaRounds      *Counter
+
+	// Interned per-BS residual gauges, indexed by BS id. Residual runs
+	// once per BS per round, which at cluster scale made the per-call
+	// fmt.Sprintf-style label build plus registry lookup a measurable
+	// slice of the observed path; the gauges are resolved once and the
+	// steady state is a lock-free-read slice index under an RLock.
+	resMu  sync.RWMutex
+	resCRU []*Gauge
+	resRRB []*Gauge
 }
 
 // NewRecorder bundles a registry and a trace sink (either may be nil; a
@@ -45,6 +62,11 @@ func NewRecorder(reg *Registry, sink *Sink) *Recorder {
 		prefEval:    reg.Counter("dmra_pref_evaluations_total"),
 		prefRescore: reg.Counter("dmra_pref_rescores_total"),
 		prefHitRate: reg.Gauge("dmra_pref_cache_hit_rate"),
+
+		deltaFrontier:    reg.Gauge("dmra_delta_frontier_ues"),
+		deltaReleased:    reg.Counter("dmra_delta_released_total"),
+		deltaInvalidated: reg.Counter("dmra_delta_invalidated_total"),
+		deltaRounds:      reg.Counter("dmra_delta_repair_rounds_total"),
 	}
 }
 
@@ -107,18 +129,49 @@ func (r *Recorder) emit(e Event) {
 }
 
 // Residual updates BS bs's per-round residual-capacity gauges: remaining
-// CRUs summed over services, and remaining RRBs. The gauges are resolved
-// through the registry on every call — this path runs once per BS per
-// round, never per message, so the lookup cost stays off the hot path
-// while keeping the recorder safe for concurrent replications. No-op on a
-// nil recorder.
+// CRUs summed over services, and remaining RRBs. The gauges are interned
+// in a per-Recorder table on first touch, so the once-per-BS-per-round
+// steady state pays a read-locked slice index instead of building the
+// label string and walking the registry map every call. Safe for
+// concurrent replications. No-op on a nil recorder.
 func (r *Recorder) Residual(bs, crus, rrbs int) {
 	if r == nil || r.reg == nil {
 		return
 	}
-	id := strconv.Itoa(bs)
-	r.reg.Gauge(Label("dmra_bs_residual_crus", "bs", id)).Set(float64(crus))
-	r.reg.Gauge(Label("dmra_bs_residual_rrbs", "bs", id)).Set(float64(rrbs))
+	r.resMu.RLock()
+	if bs < len(r.resCRU) {
+		cru, rrb := r.resCRU[bs], r.resRRB[bs]
+		r.resMu.RUnlock()
+		cru.Set(float64(crus))
+		rrb.Set(float64(rrbs))
+		return
+	}
+	r.resMu.RUnlock()
+
+	r.resMu.Lock()
+	for i := len(r.resCRU); i <= bs; i++ {
+		id := strconv.Itoa(i)
+		r.resCRU = append(r.resCRU, r.reg.Gauge(Label("dmra_bs_residual_crus", "bs", id)))
+		r.resRRB = append(r.resRRB, r.reg.Gauge(Label("dmra_bs_residual_rrbs", "bs", id)))
+	}
+	cru, rrb := r.resCRU[bs], r.resRRB[bs]
+	r.resMu.Unlock()
+	cru.Set(float64(crus))
+	rrb.Set(float64(rrbs))
+}
+
+// DeltaEpoch records one incremental-engine Settle: the frontier gauge
+// holds the latest repair-frontier size, the counters accumulate the
+// released matches, invalidated candidate regions, and repair rounds of
+// the session. No-op on a nil recorder.
+func (r *Recorder) DeltaEpoch(frontier, released, invalidated, rounds int) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.deltaFrontier.Set(float64(frontier))
+	r.deltaReleased.Add(int64(released))
+	r.deltaInvalidated.Add(int64(invalidated))
+	r.deltaRounds.Add(int64(rounds))
 }
 
 // Unmatched updates the count of UEs not yet matched to a BS this round.

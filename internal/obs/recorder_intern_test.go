@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestResidualGaugeInterning pins the interned per-BS gauge table: the
+// recorder must update the exact registry instruments (same name, same
+// values as the pre-interning per-call lookup), out-of-order and sparse
+// BS ids must work, and repeated samples must not mint new metrics.
+func TestResidualGaugeInterning(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, nil)
+
+	rec.Residual(5, 50, 15) // first touch grows the table past a gap
+	rec.Residual(0, 10, 1)
+	rec.Residual(5, 49, 14) // steady-state hit on the interned gauge
+
+	if got := reg.Gauge(Label("dmra_bs_residual_crus", "bs", "5")).Value(); got != 49 {
+		t.Errorf("bs 5 residual crus = %g, want 49", got)
+	}
+	if got := reg.Gauge(Label("dmra_bs_residual_rrbs", "bs", "5")).Value(); got != 14 {
+		t.Errorf("bs 5 residual rrbs = %g, want 14", got)
+	}
+	if got := reg.Gauge(Label("dmra_bs_residual_crus", "bs", "0")).Value(); got != 10 {
+		t.Errorf("bs 0 residual crus = %g, want 10", got)
+	}
+	// The gap BSs were interned but never set; they must read zero and
+	// the table must hand back the registry's own instruments.
+	if rec.resCRU[3] != reg.Gauge(Label("dmra_bs_residual_crus", "bs", "3")) {
+		t.Error("interned gauge is not the registry's instrument")
+	}
+}
+
+// TestResidualInterningConcurrent hammers the grow and hit paths from
+// many goroutines (meaningful under -race): the table must converge to
+// one instrument per BS.
+func TestResidualInterningConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				rec.Residual(i%37, i, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rec.resMu.RLock()
+	defer rec.resMu.RUnlock()
+	if len(rec.resCRU) != 37 || len(rec.resRRB) != 37 {
+		t.Fatalf("table sized %d/%d, want 37", len(rec.resCRU), len(rec.resRRB))
+	}
+	for b := 0; b < 37; b++ {
+		if rec.resCRU[b] == nil || rec.resRRB[b] == nil {
+			t.Fatalf("BS %d gauge missing from the interned table", b)
+		}
+	}
+}
+
+// TestDeltaEpoch pins the incremental-engine instruments: the frontier
+// gauge tracks the latest Settle, the counters accumulate.
+func TestDeltaEpoch(t *testing.T) {
+	reg := NewRegistry()
+	rec := NewRecorder(reg, nil)
+	rec.DeltaEpoch(10, 2, 30, 4)
+	rec.DeltaEpoch(7, 1, 12, 3)
+	if got := reg.Gauge("dmra_delta_frontier_ues").Value(); got != 7 {
+		t.Errorf("frontier gauge = %g, want 7", got)
+	}
+	if got := reg.Counter("dmra_delta_released_total").Value(); got != 3 {
+		t.Errorf("released = %d, want 3", got)
+	}
+	if got := reg.Counter("dmra_delta_invalidated_total").Value(); got != 42 {
+		t.Errorf("invalidated = %d, want 42", got)
+	}
+	if got := reg.Counter("dmra_delta_repair_rounds_total").Value(); got != 7 {
+		t.Errorf("repair rounds = %d, want 7", got)
+	}
+	// Nil recorders and nil registries must stay no-ops.
+	var nilRec *Recorder
+	nilRec.DeltaEpoch(1, 1, 1, 1)
+	nilRec.Residual(0, 1, 1)
+	NewRecorder(nil, nil).DeltaEpoch(1, 1, 1, 1)
+}

@@ -34,6 +34,7 @@ import (
 	"math"
 
 	"dmra/internal/alloc"
+	"dmra/internal/engine"
 	"dmra/internal/mec"
 	"dmra/internal/obs"
 	"dmra/internal/rng"
@@ -72,6 +73,17 @@ type Config struct {
 	Algorithm string
 	// DMRA overrides the DMRA configuration when Algorithm == "dmra".
 	DMRA alloc.DMRAConfig
+	// Incremental switches the epoch path to the delta-repair engine:
+	// instead of re-running Alg. 1 from scratch over the waiting set
+	// every epoch, a persistent engine.Incremental carries the ledger
+	// and every UE's candidate state across epochs and repairs only the
+	// frontier churn touched, so epoch cost scales with arrivals and
+	// departures rather than the standing population. Reports are
+	// byte-identical to the default mode (the delta-repair fuzz gate
+	// proves the assignments equal); only the Delta* counters are new.
+	// Requires Algorithm == "dmra", rho >= 0, and a NewNetwork-built
+	// scenario (the dense candidate view).
+	Incremental bool
 	// Seed drives arrivals, holding times, and the scenario build.
 	Seed uint64
 	// RecordSeries captures a per-epoch sample of the session state in
@@ -132,6 +144,14 @@ func (c Config) Validate() error {
 	case c.DurationS < c.EpochS:
 		return fmt.Errorf("online: duration %g below one epoch %g", c.DurationS, c.EpochS)
 	}
+	if c.Incremental {
+		switch {
+		case c.Algorithm != "dmra":
+			return fmt.Errorf("online: incremental mode needs the dmra policy, got %q", c.Algorithm)
+		case c.DMRA.Rho < 0:
+			return fmt.Errorf("online: incremental mode needs rho >= 0, got %g", c.DMRA.Rho)
+		}
+	}
 	if _, err := alloc.ByName(c.Algorithm); err != nil {
 		return err
 	}
@@ -162,6 +182,16 @@ type Report struct {
 	// examined across them.
 	Epochs         int
 	ReassignChecks int
+	// Delta* aggregate the incremental engine's per-Settle statistics
+	// over the session (all zero outside incremental mode):
+	// DeltaFrontier sums repair-frontier sizes, DeltaReleased counts
+	// standing matches undone by churn, DeltaInvalidated counts
+	// candidate regions rebuilt after ledger credits, and
+	// DeltaRepairRounds sums Alg. 1 rounds spent on repair.
+	DeltaFrontier     int
+	DeltaReleased     int
+	DeltaInvalidated  int
+	DeltaRepairRounds int
 	// Events counts discrete-event executions inside the horizon
 	// (arrivals, departures, epochs) — the denominator of the engine's
 	// events/sec throughput.
@@ -238,6 +268,15 @@ func Run(cfg Config) (Report, error) {
 		allocator: allocator,
 		active:    make(map[mec.UEID]placement, len(net.UEs)),
 		cohortOf:  make([]int, len(net.UEs)),
+	}
+	if cfg.Incremental {
+		if net.Dense() == nil {
+			return Report{}, fmt.Errorf("online: incremental mode needs a dense candidate view (NewNetwork-built scenario)")
+		}
+		s.inc = new(engine.Incremental)
+		if err := s.inc.Begin(net, engine.Config(cfg.DMRA), 0); err != nil {
+			return Report{}, err
+		}
 	}
 	root := rng.New(cfg.Seed)
 	s.cohorts = make([]*cohortRun, len(plans))
@@ -439,6 +478,20 @@ type session struct {
 	// pooled scratch, one preference cache) for the whole run.
 	epochRes alloc.Result
 	engine   sim.Engine
+	// inc is the persistent delta-repair engine (nil outside incremental
+	// mode). Its ledger mirrors state exactly: every Assign/Unassign the
+	// session performs is reported to it as churn, and each epoch's
+	// Settle repairs the matching instead of matchWaiting's full re-run.
+	inc *engine.Incremental
+
+	// epochFn and the timeline closures are bound once at setup; the
+	// reschedule path reuses them instead of allocating a fresh closure
+	// per event.
+	epochFn  func()
+	tlSample func()
+	tlWrite  func()
+	// tlCohorts recycles the per-sample cohort breakdown buffer.
+	tlCohorts []obs.CohortSample
 
 	cohorts []*cohortRun
 	// cohortOf maps each UE profile to its cohort's index in cohorts.
@@ -468,13 +521,16 @@ func (s *session) run() (Report, error) {
 	for _, co := range s.cohorts {
 		s.scheduleNextArrival(co)
 	}
-	s.engine.Schedule(s.cfg.EpochS, s.epoch)
+	s.epochFn = s.epoch
+	s.engine.Schedule(s.cfg.EpochS, s.epochFn)
 	if s.cfg.Timeline != nil {
 		every := s.cfg.TimelineEveryS
 		if every <= 0 {
 			every = s.cfg.EpochS
 		}
-		s.engine.Schedule(every, func() { s.sampleTimeline(every) })
+		s.tlSample = func() { s.sampleTimeline(every) }
+		s.tlWrite = s.writeTimelineSample
+		s.engine.Schedule(every, s.tlSample)
 	}
 	// Drive to the horizon and stop: events at exactly DurationS fire,
 	// departures scheduled past it never do, so nothing mutates state or
@@ -501,6 +557,11 @@ func (s *session) run() (Report, error) {
 	if err := s.state.CheckInvariants(); err != nil {
 		return Report{}, fmt.Errorf("online: ledger corrupted: %w", err)
 	}
+	if s.inc != nil {
+		if err := s.inc.CheckInvariants(); err != nil {
+			return Report{}, fmt.Errorf("online: incremental ledger corrupted: %w", err)
+		}
+	}
 	if s.timelineErr != nil {
 		return Report{}, fmt.Errorf("online: timeline: %w", s.timelineErr)
 	}
@@ -518,9 +579,9 @@ func (s *session) sampleTimeline(every float64) {
 	// and ties fire in scheduling order, so defer the actual write by a
 	// zero-delay event: the sample then observes post-match state, and
 	// its cumulative counters agree with the final report at the horizon.
-	s.engine.Schedule(0, s.writeTimelineSample)
+	s.engine.Schedule(0, s.tlWrite)
 	if s.engine.Now()+every <= s.cfg.DurationS+1e-9 {
-		s.engine.Schedule(every, func() { s.sampleTimeline(every) })
+		s.engine.Schedule(every, s.tlSample)
 	}
 }
 
@@ -549,8 +610,8 @@ func (s *session) writeTimelineSample() {
 		ProfitRate:   s.profitRate,
 	}
 	if len(s.cohorts) > 1 || s.cfg.Workload != nil {
-		sample.Cohorts = make([]obs.CohortSample, len(s.cohorts))
-		for i, co := range s.cohorts {
+		s.tlCohorts = s.tlCohorts[:0]
+		for _, co := range s.cohorts {
 			cs := obs.CohortSample{
 				Name: co.name, Arrivals: co.arrivals, Saturated: co.saturated,
 				EdgeServed: co.edgeServed, CloudServed: co.cloudServed,
@@ -558,8 +619,9 @@ func (s *session) writeTimelineSample() {
 			if offered := co.arrivals + co.saturated; offered > 0 {
 				cs.UnmatchedRate = float64(co.cloudServed+co.saturated) / float64(offered)
 			}
-			sample.Cohorts[i] = cs
+			s.tlCohorts = append(s.tlCohorts, cs)
 		}
+		sample.Cohorts = s.tlCohorts
 	}
 	if err := obs.WriteTimelineSample(s.cfg.Timeline, sample); err != nil {
 		s.timelineErr = err
@@ -611,6 +673,11 @@ func (s *session) arrival(co *cohortRun) {
 	} else {
 		u := co.take(s.net, hint)
 		s.waiting = append(s.waiting, u)
+		if s.inc != nil {
+			if err := s.inc.Arrive(u); err != nil {
+				panic(fmt.Sprintf("online: incremental arrival: %v", err))
+			}
+		}
 		s.rep.Arrivals++
 		co.arrivals++
 		co.counters.arrivals.Inc()
@@ -643,7 +710,7 @@ func (s *session) epoch() {
 		})
 	}
 	if s.engine.Now()+s.cfg.EpochS <= s.cfg.DurationS+1e-9 {
-		s.engine.Schedule(s.cfg.EpochS, s.epoch)
+		s.engine.Schedule(s.cfg.EpochS, s.epochFn)
 	}
 }
 
@@ -655,9 +722,16 @@ func (s *session) epoch() {
 // race outcomes.
 func (s *session) match() {
 	s.rep.ReassignChecks += len(s.waiting)
+	if s.inc != nil {
+		s.matchIncremental()
+		return
+	}
 
 	assignment := s.matchWaiting()
-	var stillWaiting []mec.UEID
+	// Compact the survivors in place: the read cursor stays ahead of the
+	// append cursor, so reusing the waiting backing array is safe and the
+	// per-epoch stillWaiting allocation disappears.
+	kept := s.waiting[:0]
 	for _, u := range s.waiting {
 		co := s.cohorts[s.cohortOf[u]]
 		b := assignment.ServingBS[u]
@@ -673,7 +747,7 @@ func (s *session) match() {
 		}
 		if err := s.state.Assign(u, b); err != nil {
 			// Lost a race against another epoch grant: keep waiting.
-			stillWaiting = append(stillWaiting, u)
+			kept = append(kept, u)
 			continue
 		}
 		s.active[u] = placement{bs: b}
@@ -683,7 +757,49 @@ func (s *session) match() {
 		s.profitRate += s.marginOf(u, b)
 		s.scheduleDeparture(u, co.hold.Sample(co.src))
 	}
-	s.waiting = stillWaiting
+	s.waiting = kept
+}
+
+// matchIncremental is match for the delta-repair mode: one Settle
+// repairs the standing matching over the accumulated churn, then the
+// waiting UEs are placed from the engine's serving array — in waiting
+// order, with lifetimes drawn only after placement, so every cohort's
+// RNG stream advances exactly as in the default mode. The engine's
+// ledger is authoritative and mirrors mec.State debit-for-debit, so a
+// failed Assign here is a desync bug, not an admission race; the
+// frontier always drains (admitted or cloud), so no UE stays waiting.
+func (s *session) matchIncremental() {
+	ds, err := s.inc.Settle()
+	if err != nil {
+		panic(fmt.Sprintf("online: epoch settle: %v", err))
+	}
+	s.rep.DeltaFrontier += ds.Frontier
+	s.rep.DeltaReleased += ds.Released
+	s.rep.DeltaInvalidated += ds.Invalidated
+	s.rep.DeltaRepairRounds += ds.Rounds
+	s.cfg.Obs.DeltaEpoch(ds.Frontier, ds.Released, ds.Invalidated, ds.Rounds)
+	serving := s.inc.Serving()
+	for _, u := range s.waiting {
+		co := s.cohorts[s.cohortOf[u]]
+		if bi := serving[u]; bi >= 0 {
+			b := mec.BSID(bi)
+			if err := s.state.Assign(u, b); err != nil {
+				panic(fmt.Sprintf("online: incremental ledger desync: %v", err))
+			}
+			s.active[u] = placement{bs: b}
+			s.rep.EdgeServed++
+			co.edgeServed++
+			co.counters.edgeServed.Inc()
+			s.profitRate += s.marginOf(u, b)
+		} else {
+			s.active[u] = placement{bs: mec.CloudBS}
+			s.rep.CloudServed++
+			co.cloudServed++
+			co.counters.cloudServed.Inc()
+		}
+		s.scheduleDeparture(u, co.hold.Sample(co.src))
+	}
+	s.waiting = s.waiting[:0]
 }
 
 // intoAllocator is the optional zero-allocation allocator fast path
@@ -737,6 +853,9 @@ func (s *session) scheduleDeparture(u mec.UEID, hold float64) {
 		if p.bs != mec.CloudBS {
 			s.profitRate -= s.marginOf(u, p.bs)
 			s.state.Unassign(u)
+			if s.inc != nil {
+				s.inc.Depart(u)
+			}
 		}
 		co := s.cohorts[s.cohortOf[u]]
 		co.inactive = append(co.inactive, u)

@@ -14,6 +14,7 @@
 #   scripts/check.sh wire-guard        only the wire deadline grep guard
 #   scripts/check.sh wire-shards       only the race-enabled wire suite at several shard counts
 #   scripts/check.sh soa-parity        only the race-enabled SoA-engine parity gate at several worker counts
+#   scripts/check.sh delta-parity      only the race-enabled delta-repair parity gate at several worker counts
 #   scripts/check.sh workload-specs    only the example-spec validation + online spec smoke
 #   scripts/check.sh replay-parity     only the race-enabled trace-replay parity gate
 set -eu
@@ -77,6 +78,19 @@ soa_parity() {
 	DMRA_TEST_PROPOSE_WORKERS=3 go test -race -count=1 -run 'TestSoASmoke50k' \
 		-timeout 20m ./internal/alloc/
 	echo "soa parity: race-enabled SoA engine gate passed at workers 1 and 3 (+ 50k smoke)"
+}
+
+delta_parity() {
+	# The incremental delta-repair engine must reproduce from-scratch DMRA
+	# exactly — per-UE placements, residual ledgers, round counters —
+	# across churn scripts at any propose-worker count. Sweep the worker
+	# width race-enabled like the SoA gate; the fuzz seeds run as regular
+	# tests, replaying the checked-in corpus (including past crashers).
+	for workers in 1 3; do
+		DMRA_TEST_PROPOSE_WORKERS=$workers go test -race -count=1 \
+			-run 'TestDelta|TestIncremental|FuzzDeltaParity' ./internal/alloc/ ./internal/engine/ ./internal/online/
+	done
+	echo "delta parity: race-enabled delta-repair gate passed at workers 1 and 3"
 }
 
 bench_smoke() {
@@ -158,6 +172,10 @@ soa-parity)
 	soa_parity
 	exit 0
 	;;
+delta-parity)
+	delta_parity
+	exit 0
+	;;
 workload-specs)
 	workload_specs
 	exit 0
@@ -176,6 +194,7 @@ go test -race ./internal/engine/
 go test -race ./...
 wire_shards
 soa_parity
+delta_parity
 replay_parity
 bench_smoke
 workload_specs
