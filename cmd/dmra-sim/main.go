@@ -18,6 +18,10 @@
 //	-decentralized      run DMRA as message exchange and report costs
 //	-tcp                run DMRA over real TCP sockets (one server per BS)
 //	-shards 0           coordinator shards for -tcp (0 = one per core)
+//	-regions 0          region coordinators for -tcp (0 = single coordinator);
+//	                    BSs are partitioned geographically, results identical
+//	-checkpoint file    with -tcp -regions: checkpoint every round; resume
+//	                    from the file when it already exists
 //	-exchange-timeout 0 per-frame deadline for -tcp exchanges (0 = default 10s)
 //	-obs-addr host:port serve /metrics, /debug/vars, /debug/pprof live
 //	-trace file         write the typed convergence event stream as JSONL
@@ -26,6 +30,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +65,8 @@ func run(args []string) error {
 		decentralized = fs.Bool("decentralized", false, "run DMRA as message exchange on the event simulator")
 		tcp           = fs.Bool("tcp", false, "run DMRA over real TCP sockets (one server per BS)")
 		shards        = fs.Int("shards", 0, "coordinator shards for -tcp (0 = one per core; results are identical for any value)")
+		regions       = fs.Int("regions", 0, "region coordinators for -tcp (0 = single coordinator; BSs partition geographically, results are identical for any value)")
+		checkpoint    = fs.String("checkpoint", "", "with -tcp -regions: write a resumable checkpoint every round, and resume from it when the file already exists")
 		exchangeTO    = fs.Duration("exchange-timeout", 0, "per-frame deadline for -tcp exchanges (0 = default; a hung BS fails the run with an error naming it)")
 	)
 	obsFlags := cliobs.Register(fs)
@@ -76,6 +83,12 @@ func run(args []string) error {
 	}
 	if *repeat > 1 && (*decentralized || *tcp || *algo != "dmra") {
 		return fmt.Errorf("-repeat applies only to the in-process dmra solver")
+	}
+	if *regions > 0 && !*tcp {
+		return fmt.Errorf("-regions applies only to the -tcp runtime")
+	}
+	if *checkpoint != "" && *regions < 1 {
+		return fmt.Errorf("-checkpoint needs the region coordinator (-tcp -regions N)")
 	}
 
 	scenario := dmra.DefaultScenario()
@@ -132,6 +145,8 @@ func run(args []string) error {
 	switch {
 	case *decentralized:
 		err = runDecentralized(net, *rho, obsRT.Rec)
+	case *tcp && *regions > 0:
+		err = runTCPRegions(net, *rho, *regions, *exchangeTO, *checkpoint, obsRT.Rec)
 	case *tcp:
 		err = runTCP(net, *rho, *shards, *exchangeTO, obsRT.Rec)
 	default:
@@ -217,6 +232,49 @@ func runTCP(net *dmra.Network, rho float64, shards int, exchangeTO time.Duration
 		for b, t := range cres.PerBS {
 			fmt.Printf("  BS %-2d  %6d B sent  %6d B received\n", b, t.BytesSent, t.BytesReceived)
 		}
+	}
+	return nil
+}
+
+// runTCPRegions drives the region-partitioned multi-coordinator cluster.
+// A non-empty checkpointPath makes the run durable: the coordinator state
+// lands on disk at every round barrier, and an existing file (a killed
+// earlier run) is resumed instead of started over — the resumed result is
+// identical to an uninterrupted run.
+func runTCPRegions(net *dmra.Network, rho float64, regions int, exchangeTO time.Duration, checkpointPath string, rec *dmra.ObsRecorder) error {
+	cfg := dmra.DefaultDMRAConfig()
+	cfg.Rho = rho
+	rcfg := dmra.RegionConfig{
+		DMRA:            cfg,
+		Regions:         regions,
+		ExchangeTimeout: exchangeTO,
+		Obs:             rec,
+		CheckpointPath:  checkpointPath,
+	}
+	if checkpointPath != "" {
+		if cp, err := dmra.LoadClusterCheckpoint(checkpointPath); err == nil {
+			fmt.Printf("resuming from checkpoint %s (round %d)\n\n", checkpointPath, cp.Round)
+			rcfg.Resume = cp
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	rres, err := dmra.RunRegionCluster(net, rcfg)
+	if err != nil {
+		return err
+	}
+	res := dmra.Result{
+		Assignment: rres.Assignment,
+		Profit:     dmra.Profit(net, rres.Assignment),
+	}
+	report(net, res)
+	fmt.Printf("region cluster: %d regions, %d rounds, %d frames, %d B sent / %d B received\n",
+		rres.Regions, rres.Rounds, rres.Frames, rres.BytesSent, rres.BytesReceived)
+	fmt.Printf("  %d boundary UEs, %d cross-region handoff proposals\n",
+		rres.BoundaryUEs, rres.HandoffProposals)
+	if rres.CrashedBSs > 0 || rres.RestartedBSs > 0 {
+		fmt.Printf("  recovery: %d BS crashes, %d restarts, %d UEs re-admitted\n",
+			rres.CrashedBSs, rres.RestartedBSs, rres.ReadmittedUEs)
 	}
 	return nil
 }

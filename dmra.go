@@ -255,6 +255,36 @@ func RunClusterWith(net *Network, cfg ClusterConfig) (ClusterResult, error) {
 	return wire.RunClusterWith(net, cfg)
 }
 
+// RegionConfig configures a region-partitioned multi-coordinator cluster
+// run: several coordinators each own a geographic region of base stations,
+// with cross-region proposals reconciled by the per-round handoff merge.
+// It also carries the production-hardening knobs: BS crash recovery and
+// restart, and checkpoint/resume.
+type RegionConfig = wire.RegionConfig
+
+// RegionResult reports a region-partitioned cluster run: the ordinary
+// cluster accounting plus region topology and recovery counters.
+type RegionResult = wire.RegionResult
+
+// ClusterCheckpoint is the coordinator state written at every round
+// barrier of a checkpointed region run; resuming from it reproduces the
+// uninterrupted run's result exactly.
+type ClusterCheckpoint = wire.Checkpoint
+
+// RunRegionCluster executes DMRA over TCP under a region-partitioned
+// multi-coordinator cluster. Region partitioning changes wall-clock and
+// ownership only — assignments and event streams are byte-identical to
+// RunClusterWith for every region count.
+func RunRegionCluster(net *Network, cfg RegionConfig) (RegionResult, error) {
+	return wire.RunRegionCluster(net, cfg)
+}
+
+// LoadClusterCheckpoint reads a checkpoint written by a region run, for
+// use as RegionConfig.Resume.
+func LoadClusterCheckpoint(path string) (*ClusterCheckpoint, error) {
+	return wire.LoadCheckpoint(path)
+}
+
 // --- exact optimization ---
 
 // ExactSolution is a profit-optimal assignment of a small instance.

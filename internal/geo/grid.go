@@ -49,11 +49,18 @@ func NewGridIndex(points []Point, cellSize float64) *GridIndex {
 	// Bound the cell table by the point count: a sparse set scattered over
 	// a huge extent would otherwise allocate millions of empty buckets.
 	// Doubling the cell size only coarsens queries, never their results.
+	// The table size is compared in float64: an extreme extent/cell-size
+	// ratio makes the int conversion (and the cols*rows product) overflow,
+	// which used to break the loop with a huge or negative cell table.
+	// Floats cannot overflow here — an oversized (even infinite) product
+	// just fails the bound and coarsens again.
 	maxCells := 4*len(points) + 64
 	for {
-		g.cols = int((maxX-g.minX)/g.cellSize) + 1
-		g.rows = int((maxY-g.minY)/g.cellSize) + 1
-		if g.cols*g.rows <= maxCells {
+		cols := math.Floor((maxX-g.minX)/g.cellSize) + 1
+		rows := math.Floor((maxY-g.minY)/g.cellSize) + 1
+		if cols*rows <= float64(maxCells) {
+			g.cols = int(cols)
+			g.rows = int(rows)
 			break
 		}
 		g.cellSize *= 2

@@ -88,6 +88,29 @@ func TestGridIndexSparseHugeExtent(t *testing.T) {
 	}
 }
 
+// TestGridIndexExtremeRatioNoOverflow is the regression for the
+// cell-coarsening loop's overflow: an extent/cell-size ratio large enough
+// that cols*rows overflowed int used to break the loop with a huge (or
+// negative) cell table — a panic in make or an unbounded allocation. The
+// float-compared bound must instead keep coarsening until the table fits,
+// and queries must stay exact.
+func TestGridIndexExtremeRatioNoOverflow(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 1e9, Y: 1e9}}
+	g := NewGridIndex(pts, 1e-9) // raw table would be ~1e18 x 1e18 cells
+	if got, bound := len(g.cells), 4*len(pts)+64; got > bound {
+		t.Fatalf("grid allocated %d cells, bound %d", got, bound)
+	}
+	if g.cols < 1 || g.rows < 1 {
+		t.Fatalf("degenerate grid %dx%d", g.cols, g.rows)
+	}
+	for i, p := range pts {
+		got := g.Near(p, 1, nil)
+		if !slices.Contains(got, int32(i)) {
+			t.Fatalf("Near missed point %d after coarsening: %v", i, got)
+		}
+	}
+}
+
 // TestGridIndexOccupancyBounds pins the cell sizing on the layout the
 // million-UE scenario uses: a regular BS lattice (300 m spacing) indexed
 // at the 450 m coverage radius. Per-cell occupancy and the number of

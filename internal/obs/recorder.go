@@ -33,6 +33,11 @@ type Recorder struct {
 	deltaInvalidated *Counter
 	deltaRounds      *Counter
 
+	regionHandoffs *Counter
+	bsCrashes      *Counter
+	bsRestarts     *Counter
+	readmitted     *Counter
+
 	// Interned per-BS residual gauges, indexed by BS id. Residual runs
 	// once per BS per round, which at cluster scale made the per-call
 	// fmt.Sprintf-style label build plus registry lookup a measurable
@@ -67,6 +72,11 @@ func NewRecorder(reg *Registry, sink *Sink) *Recorder {
 		deltaReleased:    reg.Counter("dmra_delta_released_total"),
 		deltaInvalidated: reg.Counter("dmra_delta_invalidated_total"),
 		deltaRounds:      reg.Counter("dmra_delta_repair_rounds_total"),
+
+		regionHandoffs: reg.Counter("wire_region_handoff_proposals_total"),
+		bsCrashes:      reg.Counter("wire_bs_crashes_total"),
+		bsRestarts:     reg.Counter("wire_bs_restarts_total"),
+		readmitted:     reg.Counter("wire_readmitted_ues_total"),
 	}
 }
 
@@ -172,6 +182,56 @@ func (r *Recorder) DeltaEpoch(frontier, released, invalidated, rounds int) {
 	r.deltaReleased.Add(int64(released))
 	r.deltaInvalidated.Add(int64(invalidated))
 	r.deltaRounds.Add(int64(rounds))
+}
+
+// RegionHandoffs counts proposals the region cluster routed across a
+// region boundary this round (a UE homed in one region proposing to a BS
+// owned by another). No-op on a nil recorder.
+func (r *Recorder) RegionHandoffs(n int) {
+	if r == nil || r.reg == nil || n == 0 {
+		return
+	}
+	r.regionHandoffs.Add(int64(n))
+}
+
+// BSCrashed counts one detected base-station failure (a dead or broken
+// server the coordinator removed from the run). No-op on a nil recorder.
+func (r *Recorder) BSCrashed() {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.bsCrashes.Inc()
+}
+
+// BSRestarted counts one crashed base station restarted and re-dialed by
+// the coordinator. No-op on a nil recorder.
+func (r *Recorder) BSRestarted() {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.bsRestarts.Inc()
+}
+
+// ReadmittedUEs counts UEs whose serving BS crashed and that were pushed
+// back into the matching (re-admitted elsewhere or cloud-served). No-op on
+// a nil recorder.
+func (r *Recorder) ReadmittedUEs(n int) {
+	if r == nil || r.reg == nil || n == 0 {
+		return
+	}
+	r.readmitted.Add(int64(n))
+}
+
+// RegionRoundLatency records one region coordinator's exchange wall-clock
+// for a round in wire_region_round_seconds{region}. Like the shard
+// histogram, it is resolved through the registry per call — once per
+// region per round, off the frame hot path. No-op on a nil recorder.
+func (r *Recorder) RegionRoundLatency(region int, seconds float64) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	name := Label("wire_region_round_seconds", "region", strconv.Itoa(region))
+	r.reg.Histogram(name, DefaultLatencyBuckets()).Observe(seconds)
 }
 
 // Unmatched updates the count of UEs not yet matched to a BS this round.

@@ -2,6 +2,8 @@ package online
 
 import (
 	"fmt"
+	"math"
+	"slices"
 	"sort"
 
 	"dmra/internal/workload/dynamic"
@@ -43,9 +45,12 @@ type SaturationReport struct {
 	Points []SaturationPoint
 	// Threshold is the unmatched-rate ceiling the knee was judged by.
 	Threshold float64
-	// KneeIndex is the index of the highest rate whose unmatched rate
-	// stays at or under Threshold, or -1 when even the lowest swept rate
-	// saturates.
+	// KneeIndex is the index of the last swept rate before the first
+	// threshold crossing — the highest rate known sustainable before the
+	// sweep first saturated — or -1 when even the lowest swept rate
+	// saturates. A later point dipping back under the threshold (a
+	// non-monotone sweep: steady-state noise, bimodal service) does not
+	// move the knee past a rate that already failed.
 	KneeIndex int
 }
 
@@ -60,10 +65,10 @@ func (r SaturationReport) Knee() (SaturationPoint, bool) {
 
 // SaturationSweep finds the capacity knee of a scenario under a dynamic
 // workload spec: it scales the spec's aggregate arrival rate to each of
-// rates (ascending), runs one session per rate under base (same
-// scenario, epoch, horizon, algorithm, seed), and reports where the
-// unmatched-UE rate crosses threshold (<= 0 picks
-// DefaultKneeThreshold).
+// rates (sorted ascending, duplicates collapsed to one session each), runs
+// one session per rate under base (same scenario, epoch, horizon,
+// algorithm, seed), and reports the last rate before the first crossing of
+// threshold (<= 0 picks DefaultKneeThreshold).
 //
 // When base.Scenario.UEs is 0 the concurrent-population bound is sized
 // automatically per rate from the spec's offered load (4x + headroom,
@@ -78,8 +83,12 @@ func SaturationSweep(base Config, spec dynamic.Spec, rates []float64, threshold 
 	}
 	sorted := append([]float64(nil), rates...)
 	sort.Float64s(sorted)
+	// A duplicated input rate would rerun an identical session and report
+	// a duplicate point (skewing "points past the knee" reasoning);
+	// collapse exact duplicates after sorting.
+	sorted = slices.Compact(sorted)
 
-	rep := SaturationReport{Threshold: threshold, KneeIndex: -1}
+	rep := SaturationReport{Threshold: threshold}
 	for _, rate := range sorted {
 		scaled, err := spec.ScaleRate(rate)
 		if err != nil {
@@ -92,9 +101,9 @@ func SaturationSweep(base Config, spec dynamic.Spec, rates []float64, threshold 
 		cfg := base
 		cfg.Workload = &scaled
 		if cfg.Scenario.UEs == 0 {
-			pool := int(4*load) + 16
-			if pool > 1<<20 {
-				pool = 1 << 20
+			pool, err := autoPoolSize(load)
+			if err != nil {
+				return SaturationReport{}, fmt.Errorf("online: sweep rate %g: %w", rate, err)
 			}
 			cfg.Scenario.UEs = pool
 		}
@@ -117,9 +126,44 @@ func SaturationSweep(base Config, spec dynamic.Spec, rates []float64, threshold 
 			p.UnmatchedRate = float64(r.CloudServed+r.Saturated) / float64(offered)
 		}
 		rep.Points = append(rep.Points, p)
-		if p.UnmatchedRate <= threshold {
-			rep.KneeIndex = len(rep.Points) - 1
+	}
+	rep.KneeIndex = kneeIndex(rep.Points, threshold)
+	return rep, nil
+}
+
+// kneeIndex returns the index of the last point before the first threshold
+// crossing, len-1 when no point crosses, or -1 when the very first point
+// already saturates. Points after the first crossing never move the knee:
+// a non-monotone sweep dipping back under the threshold used to report a
+// "knee" above a rate that had already saturated.
+func kneeIndex(points []SaturationPoint, threshold float64) int {
+	for i, p := range points {
+		if p.UnmatchedRate > threshold {
+			return i - 1
 		}
 	}
-	return rep, nil
+	return len(points) - 1
+}
+
+// maxAutoPool caps the auto-sized concurrent-UE pool; the same bound the
+// CLIs apply to their -pool auto-sizing.
+const maxAutoPool = 1 << 20
+
+// autoPoolSize converts an offered-load estimate into the per-rate
+// concurrent-population bound (4x the load plus headroom). The load is
+// validated and clamped before the int conversion: a NaN/Inf/negative load
+// from degenerate spec scaling used to convert unguarded, yielding a
+// platform-dependent or negative pool.
+func autoPoolSize(load float64) (int, error) {
+	if math.IsNaN(load) || math.IsInf(load, 0) || load < 0 {
+		return 0, fmt.Errorf("online: offered load %g is not a finite non-negative session count (degenerate spec scaling?)", load)
+	}
+	if load >= maxAutoPool/4 {
+		return maxAutoPool, nil
+	}
+	pool := int(4*load) + 16
+	if pool > maxAutoPool {
+		pool = maxAutoPool
+	}
+	return pool, nil
 }

@@ -1,6 +1,7 @@
 package online
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -77,6 +78,80 @@ func TestSaturationSweepFindsKnee(t *testing.T) {
 		if p.UnmatchedRate <= rep.Threshold {
 			t.Fatalf("rate %g past the knee (%g) is under threshold", p.RateHz, knee.RateHz)
 		}
+	}
+}
+
+// TestKneeIndexNonMonotone pins the corrected knee semantics: the knee is
+// the last rate before the FIRST threshold crossing. A later point dipping
+// back under the threshold (noise, bimodal service) used to drag the
+// "knee" above a rate that had already saturated.
+func TestKneeIndexNonMonotone(t *testing.T) {
+	pts := func(unmatched ...float64) []SaturationPoint {
+		out := make([]SaturationPoint, len(unmatched))
+		for i, u := range unmatched {
+			out[i] = SaturationPoint{RateHz: float64(i + 1), UnmatchedRate: u}
+		}
+		return out
+	}
+	cases := []struct {
+		name      string
+		unmatched []float64
+		want      int
+	}{
+		{"monotone", []float64{0.01, 0.03, 0.2, 0.6}, 1},
+		{"non-monotone dip", []float64{0.01, 0.2, 0.01, 0.6}, 0},
+		{"first point saturates", []float64{0.3, 0.01, 0.01}, -1},
+		{"never crosses", []float64{0.01, 0.02, 0.04}, 2},
+		{"boundary is sustainable", []float64{0.05, 0.06}, 0},
+	}
+	for _, tc := range cases {
+		if got := kneeIndex(pts(tc.unmatched...), 0.05); got != tc.want {
+			t.Errorf("%s: kneeIndex = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSaturationSweepDedupesRates: duplicated input rates used to rerun
+// identical sessions and report duplicate points.
+func TestSaturationSweepDedupesRates(t *testing.T) {
+	base := saturationBase()
+	base.DurationS = 10
+	rep, err := SaturationSweep(base, saturationSpec(), []float64{0.5, 0.25, 0.5, 0.25}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("got %d points from 2 unique rates, want 2", len(rep.Points))
+	}
+	if rep.Points[0].RateHz != 0.25 || rep.Points[1].RateHz != 0.5 {
+		t.Fatalf("points at rates %g, %g; want 0.25, 0.5", rep.Points[0].RateHz, rep.Points[1].RateHz)
+	}
+}
+
+func TestAutoPoolSize(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -3} {
+		if _, err := autoPoolSize(bad); err == nil {
+			t.Errorf("load %g: want an error, got none", bad)
+		}
+	}
+	if got, err := autoPoolSize(10); err != nil || got != 56 {
+		t.Errorf("load 10: pool %d err %v, want 56", got, err)
+	}
+	if got, err := autoPoolSize(1e18); err != nil || got != maxAutoPool {
+		t.Errorf("load 1e18: pool %d err %v, want clamp to %d", got, err, maxAutoPool)
+	}
+	if got, err := autoPoolSize(0); err != nil || got != 16 {
+		t.Errorf("load 0: pool %d err %v, want headroom 16", got, err)
+	}
+}
+
+// TestSaturationSweepNonFiniteLoad: scaling the spec to an astronomic rate
+// overflows the Little's-law estimate to +Inf; the sweep must refuse with
+// an error instead of converting it to a platform-dependent pool.
+func TestSaturationSweepNonFiniteLoad(t *testing.T) {
+	_, err := SaturationSweep(saturationBase(), saturationSpec(), []float64{1e308}, 0)
+	if err == nil || !strings.Contains(err.Error(), "not a finite") {
+		t.Fatalf("infinite offered load: got %v, want a finite-load error", err)
 	}
 }
 

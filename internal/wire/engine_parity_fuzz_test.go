@@ -83,6 +83,29 @@ func FuzzEngineParity(f *testing.F) {
 			}
 		}
 
+		// The region-partitioned multi-coordinator cluster is the fourth
+		// runtime: a seed-derived region count must reproduce the identical
+		// assignment and ordered event stream (its events merge in the same
+		// global UE/BS order; only the Shard attribution differs).
+		regionSink := obs.NewSink(nil, 1<<17)
+		region, err := RunRegionCluster(net_, RegionConfig{
+			DMRA:    alloc.DefaultDMRAConfig(),
+			Regions: 1 + int(seed/5%5),
+			Obs:     obs.NewRecorder(nil, regionSink),
+		})
+		if err != nil {
+			t.Fatalf("seed %d: region cluster: %v", seed, err)
+		}
+		for u := range cluster.Assignment.ServingBS {
+			if w, r := cluster.Assignment.ServingBS[u], region.Assignment.ServingBS[u]; w != r {
+				t.Fatalf("seed %d: UE %d assignment diverges: wire %d, region %d", seed, u, w, r)
+			}
+		}
+		if cluster.Rounds != region.Rounds || cluster.Frames != region.Frames {
+			t.Fatalf("seed %d: rounds/frames wire %d/%d, region %d/%d",
+				seed, cluster.Rounds, cluster.Frames, region.Rounds, region.Frames)
+		}
+
 		pe, we := protoSink.Events(), wireSink.Events()
 		if int64(len(pe)) != protoSink.Total() || int64(len(we)) != wireSink.Total() {
 			t.Fatalf("seed %d: event ring dropped events", seed)
@@ -93,6 +116,15 @@ func FuzzEngineParity(f *testing.F) {
 		for i := range pe {
 			if pe[i].Key() != we[i].Key() || pe[i].Kind != we[i].Kind {
 				t.Fatalf("seed %d event %d: protocol %+v vs wire %+v", seed, i, pe[i], we[i])
+			}
+		}
+		re := regionSink.Events()
+		if len(re) != len(we) {
+			t.Fatalf("seed %d: wire emitted %d events, region cluster %d", seed, len(we), len(re))
+		}
+		for i := range re {
+			if re[i].Key() != we[i].Key() || re[i].Kind != we[i].Kind {
+				t.Fatalf("seed %d event %d: wire %+v vs region %+v", seed, i, we[i], re[i])
 			}
 		}
 

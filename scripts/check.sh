@@ -13,6 +13,7 @@
 #   scripts/check.sh engine-guard      only the single-round-engine grep guard
 #   scripts/check.sh wire-guard        only the wire deadline grep guard
 #   scripts/check.sh wire-shards       only the race-enabled wire suite at several shard counts
+#   scripts/check.sh region-parity     only the race-enabled region-cluster gate at several region counts
 #   scripts/check.sh soa-parity        only the race-enabled SoA-engine parity gate at several worker counts
 #   scripts/check.sh delta-parity      only the race-enabled delta-repair parity gate at several worker counts
 #   scripts/check.sh workload-specs    only the example-spec validation + online spec smoke
@@ -60,6 +61,19 @@ wire_shards() {
 		DMRA_TEST_SHARDS=$shards go test -race -count=1 ./internal/wire/
 	done
 	echo "wire shards: race-enabled wire suite passed at shards 1 and 3"
+}
+
+region_parity() {
+	# The region-partitioned multi-coordinator cluster must be byte-identical
+	# to the single coordinator, and must survive BS crashes. Sweep the
+	# region count the recovery tests run under (the parity test itself
+	# compares regions 1, 2 and 4 internally); each sweep runs the chaos
+	# iteration — a BS server killed and revived mid-run — race-enabled.
+	for regions in 1 3; do
+		DMRA_TEST_REGIONS=$regions go test -race -count=1 \
+			-run 'TestRegionCluster' ./internal/wire/
+	done
+	echo "region parity: race-enabled region-cluster gate passed at regions 1 and 3 (incl. chaos + checkpoint/resume)"
 }
 
 soa_parity() {
@@ -168,6 +182,10 @@ wire-shards)
 	wire_shards
 	exit 0
 	;;
+region-parity)
+	region_parity
+	exit 0
+	;;
 soa-parity)
 	soa_parity
 	exit 0
@@ -193,6 +211,7 @@ go vet ./...
 go test -race ./internal/engine/
 go test -race ./...
 wire_shards
+region_parity
 soa_parity
 delta_parity
 replay_parity
